@@ -1,0 +1,33 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper figure at the active scale preset
+(``REPRO_PRESET``, default ``small``) and prints the regenerated rows/series
+next to the paper's expectation.  ``REPRO_BENCH_SECONDS`` bounds the
+simulated duration per run (default 2.5 s — enough for several flush +
+compaction + stall cycles at the ``small`` scale).
+
+Runs are memoized across benchmarks that share workloads (e.g. Figures
+13–16 all use the parallelism sweep), exactly as the paper derives several
+figures from one experiment.
+"""
+
+import os
+
+import pytest
+
+os.environ.setdefault("REPRO_BENCH_SECONDS", "2.5")
+
+from repro.harness.presets import bench_preset  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def preset():
+    return bench_preset()
+
+
+def regenerate(benchmark, experiment, preset):
+    """Run one experiment under pytest-benchmark and print its report."""
+    result = benchmark.pedantic(experiment, args=(preset,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    return result

@@ -1,0 +1,47 @@
+"""Ablation: rate-limiting background I/O to protect read tails.
+
+The paper's interference findings (Figures 6/10/14) come from compaction
+and flush I/O competing with foreground reads.  RocksDB's deployment-side
+mitigation is a background rate limiter; this ablation quantifies the
+read-tail/throughput trade on the SATA flash device, where interference is
+worst.
+"""
+
+from repro.harness.experiments import run_workload
+from repro.harness.report import ExperimentResult
+from repro.sim.units import mb
+
+from conftest import regenerate
+
+
+def ablation(preset):
+    res = ExperimentResult(
+        exp_id="ablation-ratelimit",
+        title="Background I/O rate limiter (SATA flash, R/W 1:1)",
+        columns=["limit_mb_s", "kops", "read_p90_us", "write_p90_us"],
+        paper_expectation=(
+            "throttling background I/O shortens foreground read tails at "
+            "some cost in sustained write throughput"
+        ),
+    )
+    for limit in (0, 8):
+        opts = preset.options(rate_limit_bytes_per_sec=limit * mb(1))
+        run = run_workload("sata-flash", preset, write_fraction=0.5,
+                           options=opts, seed=17)
+        res.add_row(
+            limit_mb_s=limit if limit else "off",
+            kops=round(run.result.kops, 1),
+            read_p90_us=round(run.result.read_latency.percentile(90) / 1e3, 1),
+            write_p90_us=round(run.result.write_latency.percentile(90) / 1e3, 1),
+        )
+    return res
+
+
+def test_ablation_rate_limiter(benchmark, preset):
+    res = regenerate(benchmark, ablation, preset)
+    unlimited = res.row_for(limit_mb_s="off")
+    limited = res.row_for(limit_mb_s=8)
+    # The limited run must not be catastrophically slower overall, and its
+    # foreground read tail should not be longer.
+    assert limited["read_p90_us"] <= unlimited["read_p90_us"] * 1.1
+    assert limited["kops"] > 0.5 * unlimited["kops"]

@@ -1,0 +1,38 @@
+"""Ablation (Section VI implication): compressing the write-ahead log."""
+
+from repro.harness.experiments import run_workload
+from repro.harness.report import ExperimentResult
+
+from conftest import regenerate
+
+
+def ablation(preset):
+    res = ExperimentResult(
+        exp_id="ablation-walz",
+        title="WAL compression (3D XPoint, 90% insertion)",
+        columns=["compression", "kops", "write_p90_us", "wal_mb"],
+        paper_expectation=(
+            "Section VI: compressing the log trades CPU for log I/O traffic"
+        ),
+    )
+    for compressed in (False, True):
+        opts = preset.options(wal_compression=compressed)
+        run = run_workload("xpoint", preset, write_fraction=0.9,
+                           options=opts, seed=17)
+        res.add_row(
+            compression="on" if compressed else "off",
+            kops=round(run.result.kops, 1),
+            write_p90_us=round(run.result.write_latency.percentile(90) / 1e3, 1),
+            wal_mb=round(run.db.wal.bytes_written / 2**20, 1),
+        )
+    return res
+
+
+def test_ablation_wal_compression(benchmark, preset):
+    res = regenerate(benchmark, ablation, preset)
+    on = res.row_for(compression="on")
+    off = res.row_for(compression="off")
+    # Log traffic per op must shrink by roughly the compression ratio.
+    assert on["wal_mb"] / max(on["kops"], 1e-9) < 0.8 * (
+        off["wal_mb"] / max(off["kops"], 1e-9)
+    )

@@ -1,0 +1,42 @@
+"""Ablation (Section VI implication): multiple short write queues.
+
+The paper suggests "multiple short write thread queues rather than one
+single long queue" to relieve the writer-queue pressure Figure 15/16 expose
+on 3D XPoint.  This ablation compares 1 vs 4 queue shards at 32 threads.
+"""
+
+from repro.harness.experiments import run_workload
+from repro.harness.report import ExperimentResult
+
+from conftest import regenerate
+
+
+def ablation(preset):
+    res = ExperimentResult(
+        exp_id="ablation-wq",
+        title="Write-queue sharding at 32 threads (3D XPoint, R/W 1:1)",
+        columns=["queues", "kops", "write_p90_us", "mean_waiting"],
+        paper_expectation=(
+            "Section VI: more queues -> more overlap, shorter writer waits"
+        ),
+    )
+    for shards in (1, 4):
+        opts = preset.options(write_queue_shards=shards)
+        run = run_workload("xpoint", preset, write_fraction=0.5,
+                           processes=32, options=opts, seed=17)
+        res.add_row(
+            queues=shards,
+            kops=round(run.result.kops, 1),
+            write_p90_us=round(run.result.write_latency.percentile(90) / 1e3, 1),
+            mean_waiting=round(run.result.mean_waiting_writers, 2),
+        )
+    return res
+
+
+def test_ablation_write_queues(benchmark, preset):
+    res = regenerate(benchmark, ablation, preset)
+    one = res.row_for(queues=1)
+    four = res.row_for(queues=4)
+    # Sharding must not collapse throughput; queueing should not worsen.
+    assert four["kops"] > 0.8 * one["kops"]
+    assert four["mean_waiting"] <= one["mean_waiting"] * 1.1

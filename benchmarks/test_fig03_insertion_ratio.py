@@ -1,0 +1,26 @@
+"""Figure 3: throughput vs insertion ratio on three devices."""
+
+from repro.harness.experiments import FIG3_RATIOS, fig03_insertion_ratio
+
+from conftest import regenerate
+
+
+def series_for(res, device):
+    return [res.row_for(device=device, write_fraction=wf)["kops"] for wf in FIG3_RATIOS]
+
+
+def test_fig03_insertion_ratio(benchmark, preset):
+    res = regenerate(benchmark, fig03_insertion_ratio, preset)
+    xp = series_for(res, "xpoint")
+    pcie = series_for(res, "pcie-flash")
+    sata = series_for(res, "sata-flash")
+
+    # XPoint falls as the insertion ratio rises (paper: 115 -> 45 kop/s).
+    assert xp[0] > 1.5 * xp[-1]
+    # Flash ends higher than it starts (paper PCIe: 32 -> 41.3 kop/s).
+    assert pcie[-1] > pcie[0]
+    assert sata[-1] > sata[0]
+    # XPoint dominates at read-heavy mixes...
+    assert xp[0] > 2.5 * pcie[0] > 2.5 * 0.9 * sata[0]
+    # ...but converges toward PCIe flash at 100% writes (paper: 45 vs 41.3).
+    assert abs(xp[-1] - pcie[-1]) / pcie[-1] < 0.35

@@ -1,0 +1,13 @@
+"""Figure 4: throughput timeline at 5% writes (smooth everywhere)."""
+
+from repro.harness.experiments import fig04_timeline_5w
+
+from conftest import regenerate
+
+
+def test_fig04_timeline_5w(benchmark, preset):
+    res = regenerate(benchmark, fig04_timeline_5w, preset)
+    for row in res.rows:
+        # Light writes: no near-stop valleys on any device.
+        assert row["near_stop_frac"] <= 0.05, row
+        assert row["mean_kops"] > 0

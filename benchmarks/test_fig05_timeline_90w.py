@@ -1,0 +1,16 @@
+"""Figure 5: throughput timeline at 90% writes (throttling valleys)."""
+
+from repro.harness.experiments import fig05_timeline_90w
+
+from conftest import regenerate
+
+
+def test_fig05_timeline_90w(benchmark, preset):
+    res = regenerate(benchmark, fig05_timeline_90w, preset)
+    xp = res.row_for(device="xpoint")
+    # Paper: XPoint oscillates between ~169 kop/s bursts and ~3 kop/s
+    # valleys.  Require a deep peak-to-valley swing.
+    assert xp["max_kops"] > 3 * max(xp["min_kops"], 1.0)
+    assert xp["cov"] > 0.25
+    # Throttling bites harder on XPoint than at 5% writes on any device.
+    assert xp["min_kops"] < xp["mean_kops"]

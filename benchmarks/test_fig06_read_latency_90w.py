@@ -1,0 +1,17 @@
+"""Figure 6: read latency at 90% writes."""
+
+from repro.harness.experiments import fig06_read_latency_90w
+
+from conftest import regenerate
+
+
+def test_fig06_read_latency_90w(benchmark, preset):
+    res = regenerate(benchmark, fig06_read_latency_90w, preset)
+    xp = res.row_for(device="xpoint")
+    sata = res.row_for(device="sata-flash")
+    pcie = res.row_for(device="pcie-flash")
+    # Paper: XPoint read p90 251 us vs SATA flash 839 us (~3x shorter).
+    assert xp["p90_us"] < pcie["p90_us"] < sata["p90_us"]
+    assert sata["p90_us"] > 2 * xp["p90_us"]
+    for row in res.rows:
+        assert row["p50_us"] <= row["p90_us"] <= row["p99_us"]

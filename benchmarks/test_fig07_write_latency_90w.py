@@ -1,0 +1,15 @@
+"""Figure 7: write latency at 90% writes."""
+
+from repro.harness.experiments import fig07_write_latency_90w
+
+from conftest import regenerate
+
+
+def test_fig07_write_latency_90w(benchmark, preset):
+    res = regenerate(benchmark, fig07_write_latency_90w, preset)
+    xp = res.row_for(device="xpoint")["p90_us"]
+    sata = res.row_for(device="sata-flash")["p90_us"]
+    # Paper: write p90 close across devices (26 us XPoint vs 28 us SATA) —
+    # writes land in the memtable, so the device matters far less than for
+    # reads.  Accept a 3x band.
+    assert max(xp, sata) < 3 * min(xp, sata)

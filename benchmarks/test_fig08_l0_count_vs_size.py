@@ -1,0 +1,17 @@
+"""Figure 8: number of Level-0 files vs Level-0 file size."""
+
+from repro.harness.experiments import _l0_size_multipliers, fig08_l0_count_vs_size
+
+from conftest import regenerate
+
+
+def test_fig08_l0_count_vs_size(benchmark, preset):
+    res = regenerate(benchmark, fig08_l0_count_vs_size, preset)
+    # Larger Level-0 files -> fewer Level-0 files, on every device.
+    for device in ("sata-flash", "pcie-flash", "xpoint"):
+        rows = sorted(
+            (r for r in res.rows if r["device"] == device),
+            key=lambda r: r["file_size_mb"],
+        )
+        counts = [r["avg_l0_files"] for r in rows]
+        assert counts[0] > counts[-1], (device, counts)

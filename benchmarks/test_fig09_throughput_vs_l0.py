@@ -1,0 +1,24 @@
+"""Figure 9: throughput vs number of Level-0 files."""
+
+from repro.harness.experiments import fig09_throughput_vs_l0
+
+from conftest import regenerate
+
+
+def rows_for(res, device):
+    return sorted(
+        (r for r in res.rows if r["device"] == device),
+        key=lambda r: r["avg_l0_files"],
+    )
+
+
+def test_fig09_throughput_vs_l0(benchmark, preset):
+    res = regenerate(benchmark, fig09_throughput_vs_l0, preset)
+    xp = rows_for(res, "xpoint")
+    pcie = rows_for(res, "pcie-flash")
+    # More L0 files -> lower throughput on XPoint (paper: -19.9%).
+    assert xp[-1]["kops"] < xp[0]["kops"]
+    xp_drop = (xp[0]["kops"] - xp[-1]["kops"]) / xp[0]["kops"]
+    pcie_drop = (pcie[0]["kops"] - pcie[-1]["kops"]) / max(pcie[0]["kops"], 1e-9)
+    # The relative penalty is larger on the faster device (paper's point).
+    assert xp_drop > pcie_drop

@@ -1,0 +1,16 @@
+"""Figure 10: read tail latency vs number of Level-0 files."""
+
+from repro.harness.experiments import fig10_read_latency_vs_l0
+
+from conftest import regenerate
+
+
+def test_fig10_read_latency_vs_l0(benchmark, preset):
+    res = regenerate(benchmark, fig10_read_latency_vs_l0, preset)
+    # Fewer Level-0 files -> shorter read tails on XPoint (paper: 101 us at
+    # 2 files vs 134 us at 8).
+    xp = sorted(
+        (r for r in res.rows if r["device"] == "xpoint"),
+        key=lambda r: r["avg_l0_files"],
+    )
+    assert xp[0]["read_p90_us"] < xp[-1]["read_p90_us"]

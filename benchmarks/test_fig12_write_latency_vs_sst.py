@@ -1,0 +1,25 @@
+"""Figure 12: write tail latency vs SST/memtable size."""
+
+from repro.harness.experiments import fig12_write_latency_vs_sst
+
+from conftest import regenerate
+
+
+def test_fig12_write_latency_vs_sst(benchmark, preset):
+    res = regenerate(benchmark, fig12_write_latency_vs_sst, preset)
+    # O(log N) skiplist insertion: the median grows with memtable size on
+    # every device (paper SATA: 25 -> 31 us p90 from 64 to 256 MB).  Tails
+    # on the flash devices are dominated by device noise at this scale, so
+    # the p90 check applies where software dominates — XPoint, which is the
+    # paper's point about software costs surfacing on fast storage.
+    for device in ("sata-flash", "pcie-flash", "xpoint"):
+        rows = sorted(
+            (r for r in res.rows if r["device"] == device),
+            key=lambda r: r["file_size_mb"],
+        )
+        assert rows[-1]["write_p50_us"] > rows[0]["write_p50_us"], device
+    xp = sorted(
+        (r for r in res.rows if r["device"] == "xpoint"),
+        key=lambda r: r["file_size_mb"],
+    )
+    assert xp[-1]["write_p90_us"] > xp[0]["write_p90_us"]

@@ -1,0 +1,15 @@
+"""Figure 13: throughput vs parallelism."""
+
+from repro.harness.experiments import PARALLELISM_LEVELS, fig13_parallelism
+
+from conftest import regenerate
+
+
+def test_fig13_parallelism(benchmark, preset):
+    res = regenerate(benchmark, fig13_parallelism, preset)
+    # Paper: throughput rises with threads on all devices (XPoint
+    # 35.4 -> 79.5 kop/s from 1 to 32).
+    for device in ("sata-flash", "pcie-flash", "xpoint"):
+        one = res.row_for(device=device, processes=1)["kops"]
+        many = res.row_for(device=device, processes=32)["kops"]
+        assert many > 1.4 * one, device

@@ -1,0 +1,13 @@
+"""Figure 14: read latency at 32 threads."""
+
+from repro.harness.experiments import fig14_read_latency_32t
+
+from conftest import regenerate
+
+
+def test_fig14_read_latency_32t(benchmark, preset):
+    res = regenerate(benchmark, fig14_read_latency_32t, preset)
+    xp = res.row_for(device="xpoint")["p90_us"]
+    sata = res.row_for(device="sata-flash")["p90_us"]
+    # Paper: XPoint read p90 (335 us) ~76% below SATA flash (1.4 ms).
+    assert xp < 0.6 * sata

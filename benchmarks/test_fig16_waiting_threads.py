@@ -1,0 +1,15 @@
+"""Figure 16: average waiting writer threads at 32 threads."""
+
+from repro.harness.experiments import fig16_waiting_threads
+
+from conftest import regenerate
+
+
+def test_fig16_waiting_threads(benchmark, preset):
+    res = regenerate(benchmark, fig16_waiting_threads, preset)
+    xp = res.row_for(device="xpoint")["mean_waiting"]
+    sata = res.row_for(device="sata-flash")["mean_waiting"]
+    pcie = res.row_for(device="pcie-flash")["mean_waiting"]
+    # Paper: evidently more writers queue on XPoint than on the flash SSDs.
+    assert xp >= sata
+    assert xp >= pcie * 0.9

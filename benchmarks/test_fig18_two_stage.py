@@ -1,0 +1,17 @@
+"""Figure 18: two-stage throttling removes the near-stop situation."""
+
+from repro.harness.experiments import fig18_two_stage
+
+from conftest import regenerate
+
+
+def test_fig18_two_stage(benchmark, preset):
+    res = regenerate(benchmark, fig18_two_stage, preset)
+    original = res.row_for(controller="original")
+    two_stage = res.row_for(controller="two-stage")
+    # Two-stage throttling lifts the throughput floor and spends no more
+    # time near-stopped than the original (paper: valleys disappear).
+    assert two_stage["near_stop_frac"] <= original["near_stop_frac"]
+    assert two_stage["min_kops"] >= original["min_kops"]
+    # Mean throughput must not regress materially.
+    assert two_stage["mean_kops"] > 0.85 * original["mean_kops"]

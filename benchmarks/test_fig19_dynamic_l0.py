@@ -1,0 +1,15 @@
+"""Figure 19: dynamic Level-0 management vs default."""
+
+from repro.harness.experiments import fig19_dynamic_l0
+
+from conftest import regenerate
+
+
+def test_fig19_dynamic_l0(benchmark, preset):
+    res = regenerate(benchmark, fig19_dynamic_l0, preset)
+    # Read-heavy: dynamic L0 wins (paper: +13% at 90% reads).
+    best = res.row_for(read_ratio=0.9)
+    assert best["dynamic_kops"] > best["default_kops"]
+    # Write-heavy: both configurations coincide (paper: similar at 5% reads).
+    tie = res.row_for(read_ratio=0.05)
+    assert abs(tie["gain_pct"]) < 10

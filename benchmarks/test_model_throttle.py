@@ -1,0 +1,16 @@
+"""Analysis #1: the analytic throttle model (Equations 1-2)."""
+
+import pytest
+
+from repro.harness.experiments import model_throttle
+
+from conftest import regenerate
+
+
+def test_model_throttle(benchmark, preset):
+    res = regenerate(benchmark, model_throttle, preset)
+    xp = res.row_for(device="xpoint")
+    sata = res.row_for(device="sata-flash")
+    # Paper's computed values: 2.74 and 1.88 kop/s.
+    assert xp["lambda_a_kops"] == pytest.approx(2.74, abs=0.01)
+    assert sata["lambda_a_kops"] == pytest.approx(1.88, abs=0.01)

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Case study C in action: reducing logging overhead with NVM.
+
+Reproduces the paper's Figure 20 comparison at demo scale: write tail
+latency with the WAL on the data SSD, with the WAL relocated to
+byte-addressable NVM (the paper emulates it with tmpfs), and with the WAL
+disabled entirely.
+
+Run:  python examples/nvm_logging.py
+"""
+
+from repro.core.nvm_wal import logging_configurations
+from repro.harness.machine import Machine
+from repro.harness.presets import TINY
+from repro.harness.report import format_table
+from repro.storage import xpoint_ssd
+from repro.sim.units import seconds
+from repro.workloads import DbBench, DbBenchConfig, prefill
+
+
+def main() -> None:
+    rows = []
+    for config in logging_configurations():
+        machine = Machine.create(
+            xpoint_ssd(), TINY.page_cache_bytes, seed=9, with_nvm=config.wal_on_nvm
+        )
+        options = config.apply(TINY.options())
+        db = machine.open_db(options, wal_on_nvm=config.wal_on_nvm)
+        prefill(db, TINY.prefill_spec())
+        bench = DbBench(DbBenchConfig(
+            processes=4,
+            duration_ns=seconds(1.5),
+            write_fraction=0.5,  # the paper's 50% insertion ratio
+            value_size=TINY.value_size,
+            key_count=TINY.key_count,
+            seed=9,
+        ))
+        result = bench.run(db)
+        hist = result.write_latency
+        rows.append({
+            "config": config.label,
+            "write_p50_us": round(hist.percentile(50) / 1e3, 1),
+            "write_p90_us": round(hist.percentile(90) / 1e3, 1),
+            "write_p99_us": round(hist.percentile(99) / 1e3, 1),
+            "kops": round(result.kops, 1),
+        })
+
+    print(format_table(
+        ["config", "write_p50_us", "write_p90_us", "write_p99_us", "kops"],
+        rows,
+        title="Write latency vs logging configuration (50% insertion, 3D XPoint)",
+    ))
+    ssd = rows[0]["write_p90_us"]
+    nvm = rows[1]["write_p90_us"]
+    if ssd > 0:
+        print(f"\nNVM logging cuts write p90 by {(ssd - nvm) / ssd:.1%} "
+              "(paper: 18.8%), but WAL-off shows the overhead is not fully"
+              " removable by relocation alone.")
+
+
+if __name__ == "__main__":
+    main()

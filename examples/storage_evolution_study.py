@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Storage evolution study: the same workload on three SSD generations.
+
+A miniature of the paper's Figures 1 and 3: run an identical
+randomreadrandomwrite workload against an existing database on a SATA flash
+SSD, a PCIe flash SSD and a 3D XPoint SSD, then compare raw-device speedup
+with the end-to-end RocksDB-style speedup — the gap is the paper's whole
+motivation.
+
+Run:  python examples/storage_evolution_study.py  [--seconds 2]
+"""
+
+import argparse
+
+from repro.harness.machine import Machine
+from repro.harness.presets import TINY
+from repro.harness.report import format_table
+from repro.storage import (
+    RawBenchmark,
+    RawWorkloadConfig,
+    pcie_flash_ssd,
+    sata_flash_ssd,
+    xpoint_ssd,
+)
+from repro.sim.units import seconds, us
+from repro.workloads import DbBench, DbBenchConfig, prefill
+
+PROFILES = (sata_flash_ssd, pcie_flash_ssd, xpoint_ssd)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--seconds", type=float, default=1.5,
+                        help="simulated seconds per run")
+    parser.add_argument("--write-fraction", type=float, default=0.5)
+    args = parser.parse_args()
+
+    rows = []
+    raw_cfg = RawWorkloadConfig(
+        threads=8,
+        read_fraction=1.0 - args.write_fraction,
+        duration_ns=seconds(min(args.seconds, 1.0)),
+        submit_overhead_ns=us(2),
+    )
+    for factory in PROFILES:
+        profile = factory()
+        raw = RawBenchmark(raw_cfg).run_profile(profile)
+
+        machine = Machine.create(profile, TINY.page_cache_bytes, seed=7)
+        db = machine.open_db(TINY.options())
+        prefill(db, TINY.prefill_spec())
+        bench = DbBench(DbBenchConfig(
+            processes=8,
+            duration_ns=seconds(args.seconds),
+            write_fraction=args.write_fraction,
+            value_size=TINY.value_size,
+            key_count=TINY.key_count,
+            seed=7,
+        ))
+        result = bench.run(db)
+        rows.append({
+            "device": profile.name,
+            "raw_kops": round(raw.kops, 1),
+            "kv_kops": round(result.kops, 1),
+            "read_p90_us": round(result.read_latency.percentile(90) / 1e3, 1),
+            "write_p90_us": round(result.write_latency.percentile(90) / 1e3, 1),
+            "software_tax": round(raw.kops / max(result.kops, 0.001), 1),
+        })
+
+    print(format_table(
+        ["device", "raw_kops", "kv_kops", "read_p90_us", "write_p90_us", "software_tax"],
+        rows,
+        title="Raw device vs key-value store throughput "
+              f"(R/W {1 - args.write_fraction:.0%}:{args.write_fraction:.0%}, 8 threads)",
+    ))
+
+    raw_gain = rows[-1]["raw_kops"] / rows[0]["raw_kops"]
+    kv_gain = rows[-1]["kv_kops"] / rows[0]["kv_kops"]
+    print(f"\nSATA -> XPoint raw speedup:      {raw_gain:5.1f}x")
+    print(f"SATA -> XPoint end-to-end speedup: {kv_gain:4.1f}x")
+    print("\nThe paper's Figure 1 in one sentence: the storage got "
+          f"{raw_gain:.0f}x faster, the key-value store only {kv_gain:.1f}x —"
+          " the difference is software bottlenecks (throttling, L0 search,"
+          " write pipelining, logging).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""repro — reproduction of "From Flash to 3D XPoint: Performance Bottlenecks
+and Potentials in RocksDB with Storage Evolution" (Jia & Chen, ISPASS 2020).
+
+The package rebuilds, from scratch and in simulation, everything the paper
+measures:
+
+* :mod:`repro.sim` — deterministic discrete-event simulation kernel;
+* :mod:`repro.storage` — SATA flash / PCIe flash / 3D XPoint / NVM device
+  models plus the raw-I/O microbenchmark of Figure 1;
+* :mod:`repro.fs` — Ext4-like filesystem with an OS page cache;
+* :mod:`repro.lsm` — a RocksDB-5.17-style LSM key-value store (memtables,
+  WAL, SSTs, leveled compaction, write throttling = Algorithm 1, pipelined
+  writes = Algorithm 2);
+* :mod:`repro.core` — the paper's analyses and the three case studies;
+* :mod:`repro.workloads` — db_bench-equivalent workload generation;
+* :mod:`repro.harness` — one experiment per paper figure.
+
+Quickstart::
+
+    from repro import Machine, Options, xpoint_ssd
+    from repro.sim import mb
+
+    machine = Machine.create(xpoint_ssd(), page_cache_bytes=mb(64))
+    db = machine.open_db(Options(write_buffer_size=mb(4)))
+    db.run_sync(db.put(b"key", b"value"))
+    assert db.run_sync(db.get(b"key")) == b"value"
+"""
+
+from repro.errors import (
+    CorruptionError,
+    DBClosedError,
+    DBError,
+    FileSystemError,
+    OptionsError,
+    ReproError,
+    SimulationError,
+    StorageError,
+    WorkloadError,
+)
+from repro.harness.machine import Machine
+from repro.lsm.db import DB
+from repro.lsm.options import Options
+from repro.lsm.value import ValueRef
+from repro.lsm.write_batch import WriteBatch
+from repro.sim.engine import Engine
+from repro.storage.profiles import (
+    nvm_dimm,
+    pcie_flash_ssd,
+    sata_flash_ssd,
+    xpoint_ssd,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CorruptionError",
+    "DB",
+    "DBClosedError",
+    "DBError",
+    "Engine",
+    "FileSystemError",
+    "Machine",
+    "Options",
+    "OptionsError",
+    "ReproError",
+    "SimulationError",
+    "StorageError",
+    "ValueRef",
+    "WorkloadError",
+    "WriteBatch",
+    "__version__",
+    "nvm_dimm",
+    "pcie_flash_ssd",
+    "sata_flash_ssd",
+    "xpoint_ssd",
+]

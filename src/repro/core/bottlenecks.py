@@ -1,0 +1,124 @@
+"""Bottleneck analyzers: the measurements behind the paper's findings.
+
+These helpers turn raw run artifacts (timelines, DB tickers, device
+counters) into the quantities the paper reports: near-stop periods
+(Finding #1 / Figure 18), throughput variation (Figures 4–5), read
+amplification (Finding #2), and stall summaries (Algorithm 1's impact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lsm.db import DB
+from repro.sim.stats import TimeSeries
+
+
+@dataclass(frozen=True)
+class NearStopPeriod:
+    """A contiguous stretch of near-zero throughput."""
+
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+def near_stop_periods(
+    series: Sequence[Tuple[float, float]], threshold_ops: float = 10_000.0
+) -> List[NearStopPeriod]:
+    """Find periods where throughput drops under ``threshold_ops`` op/s.
+
+    The paper calls a system under 10 kop/s "near-stop" (Section V-A).
+    ``series`` is a list of (bucket_start_seconds, ops_per_second) as
+    produced by :meth:`repro.sim.stats.TimeSeries.series`.
+    """
+    periods: List[NearStopPeriod] = []
+    start = None
+    prev_t = None
+    for t, rate in series:
+        if rate < threshold_ops:
+            if start is None:
+                start = t
+        else:
+            if start is not None:
+                periods.append(NearStopPeriod(start, t))
+                start = None
+        prev_t = t
+    if start is not None and prev_t is not None:
+        periods.append(NearStopPeriod(start, prev_t + 1.0))
+    return periods
+
+
+def near_stop_fraction(
+    series: Sequence[Tuple[float, float]], threshold_ops: float = 10_000.0
+) -> float:
+    """Fraction of buckets spent in near-stop state."""
+    if not series:
+        return 0.0
+    low = sum(1 for _, rate in series if rate < threshold_ops)
+    return low / len(series)
+
+
+def throughput_variation(series: Sequence[Tuple[float, float]]) -> Dict[str, float]:
+    """Min/max/mean/coefficient-of-variation of a throughput timeline."""
+    rates = [rate for _, rate in series]
+    if not rates:
+        return {"min": 0.0, "max": 0.0, "mean": 0.0, "cov": 0.0}
+    mean = sum(rates) / len(rates)
+    if mean == 0:
+        return {"min": min(rates), "max": max(rates), "mean": 0.0, "cov": 0.0}
+    var = sum((r - mean) ** 2 for r in rates) / len(rates)
+    return {
+        "min": min(rates),
+        "max": max(rates),
+        "mean": mean,
+        "cov": (var ** 0.5) / mean,
+    }
+
+
+def read_amplification(db: DB) -> float:
+    """Device block reads per GET (Finding #2's read amplification)."""
+    gets = db.stats.get("gets")
+    if gets == 0:
+        return 0.0
+    return db.stats.get("get.block_device_reads") / gets
+
+
+def l0_probe_rate(db: DB) -> float:
+    """Level-0 table probes per GET (files actually searched)."""
+    gets = db.stats.get("gets")
+    if gets == 0:
+        return 0.0
+    return db.stats.get("get.l0_probes") / gets
+
+
+def stall_summary(db: DB) -> Dict[str, float]:
+    """How hard Algorithm 1 bit during a run."""
+    tickers = db.stats.tickers()
+    return {
+        "delayed_writes": float(tickers.get("stall.delays_hit", 0)),
+        "delay_seconds": tickers.get("stall.delay_ns", 0) / 1e9,
+        "stop_waits": float(tickers.get("stall.stops_hit", 0)),
+        "slowdown_transitions": float(tickers.get("stall.to_delayed", 0)),
+        "stop_transitions": float(tickers.get("stall.to_stopped", 0)),
+    }
+
+
+def write_amplification(db: DB) -> float:
+    """Bytes written by flush+compaction per byte of user data flushed."""
+    flushed = db.stats.get("flush.bytes")
+    if flushed == 0:
+        return 0.0
+    compacted = db.stats.get("compaction.bytes_written")
+    return (flushed + compacted) / flushed
+
+
+def timeline_of(result) -> List[Tuple[float, float]]:
+    """Timeline series of a BenchResult (helper for analyzers)."""
+    timeline: TimeSeries = result.timeline
+    cfg = result.config
+    return timeline.series(start=cfg.warmup_ns, end=cfg.duration_ns)

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event simulation kernel."""
+
+
+class StorageError(ReproError):
+    """Raised by the simulated storage devices."""
+
+
+class FileSystemError(ReproError):
+    """Raised by the simulated filesystem."""
+
+
+class FileNotFoundInFS(FileSystemError):
+    """Raised when opening or deleting a path that does not exist."""
+
+
+class FileExistsInFS(FileSystemError):
+    """Raised when exclusively creating a path that already exists."""
+
+
+class OutOfSpaceError(FileSystemError):
+    """Raised when the simulated device has no free capacity left."""
+
+
+class DBError(ReproError):
+    """Base class for key-value store errors."""
+
+
+class DBClosedError(DBError):
+    """Raised when an operation is attempted on a closed database."""
+
+
+class CorruptionError(DBError):
+    """Raised when an on-disk structure fails validation (e.g. WAL CRC)."""
+
+
+class WriteStallError(DBError):
+    """Raised when a non-blocking write would stall (``no_slowdown`` mode)."""
+
+
+class OptionsError(DBError):
+    """Raised for invalid or inconsistent configuration options."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload specifications."""

@@ -1,0 +1,6 @@
+"""Simulated filesystem (Ext4 stand-in) with an OS page cache model."""
+
+from repro.fs.filesystem import EXTENT_BYTES, SimFile, SimFileSystem
+from repro.fs.page_cache import PAGE_SIZE, PageCache
+
+__all__ = ["EXTENT_BYTES", "PAGE_SIZE", "PageCache", "SimFile", "SimFileSystem"]

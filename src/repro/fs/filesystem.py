@@ -1,0 +1,330 @@
+"""Extent-based simulated filesystem (the testbed's Ext4 stand-in).
+
+The filesystem models exactly what an LSM store needs from Ext4:
+
+* append-only writes buffered in the page cache (``append``), written back to
+  the device either on explicit ``sync`` (fsync) or asynchronously when the
+  dirty watermark is crossed (OS writeback);
+* random and sequential reads served from the page cache when resident;
+* whole-file deletes that free extents and TRIM the device.
+
+Data *content* is not serialized: each :class:`SimFile` exposes ``payload``
+(an opaque object attached by its owner, e.g. an SST's in-memory index) and a
+``records`` list with per-record durability flags, which is what WAL recovery
+needs.  The filesystem models sizes, offsets and timing only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    FileExistsInFS,
+    FileNotFoundInFS,
+    FileSystemError,
+    OutOfSpaceError,
+)
+from repro.sim.engine import Engine, Event
+from repro.sim.stats import StatsSet
+from repro.sim.units import MB
+from repro.storage.device import StorageDevice
+
+EXTENT_BYTES = 1 * MB
+
+
+class SimFile:
+    """An open file on the simulated filesystem."""
+
+    def __init__(
+        self,
+        fs: "SimFileSystem",
+        path: str,
+        file_id: int,
+        writeback_bytes: Optional[int] = None,
+        dirty_limit_bytes: Optional[int] = None,
+    ) -> None:
+        self.fs = fs
+        self.path = path
+        self.file_id = file_id
+        # Per-file overrides of the OS writeback thresholds (the WAL uses
+        # wal_bytes_per_sync here).
+        self.writeback_bytes = writeback_bytes
+        self.dirty_limit_bytes = dirty_limit_bytes
+        self.size = 0
+        self.synced_size = 0  # durable watermark
+        self._flushed_size = 0  # bytes handed to the device (maybe in flight)
+        self.extents: List[int] = []  # physical offset of each extent
+        self.deleted = False
+        # Opaque owner state (e.g. parsed SST); survives "crash" only if the
+        # owner re-derives it from synced records/content.
+        self.payload: Any = None
+        # (nbytes, record) appended entries, for WAL-style replay.
+        self.records: List[Tuple[int, Any]] = []
+        self._pending_flushes: List[Event] = []
+
+    # -- writes ---------------------------------------------------------------
+
+    def append(self, nbytes: int, record: Any = None) -> Optional[Event]:
+        """Buffered append (a ``write()`` syscall into the page cache).
+
+        Returns ``None`` on the common path.  When the file's dirty span
+        exceeds the writeback threshold, an asynchronous device write is
+        started and — if the amount of un-written dirty data exceeds the
+        dirty limit — the returned event models write() blocking on
+        writeback backpressure; the caller must yield it.
+        """
+        self._check_alive()
+        if nbytes <= 0:
+            raise FileSystemError(f"append size must be positive: {nbytes}")
+        offset = self.size
+        self.size += nbytes
+        if record is not None:
+            self.records.append((nbytes, record))
+        self.fs._ensure_extents(self)
+        self.fs.page_cache.fill(self.file_id, offset, nbytes)
+        self.fs.stats.inc("bytes_appended", nbytes)
+
+        writeback_at = (
+            self.writeback_bytes
+            if self.writeback_bytes is not None
+            else self.fs.writeback_bytes
+        )
+        dirty_limit = (
+            self.dirty_limit_bytes
+            if self.dirty_limit_bytes is not None
+            else self.fs.dirty_limit_bytes
+        )
+        dirty = self.size - self._flushed_size
+        if dirty >= writeback_at:
+            ev = self._start_flush()
+            if self.size - self.synced_size >= dirty_limit:
+                self.fs.stats.inc("writeback_stalls")
+                return ev
+        return None
+
+    def _start_flush(self) -> Optional[Event]:
+        """Kick off device writes for the dirty range; returns the last event."""
+        if self._flushed_size >= self.size:
+            return self._pending_flushes[-1] if self._pending_flushes else None
+        ev = None
+        for phys, nbytes in self.fs._physical_runs(
+            self, self._flushed_size, self.size - self._flushed_size
+        ):
+            ev = self.fs.device.write(phys, nbytes, sequential=True)
+            self._pending_flushes.append(ev)
+        flushed_to = self.size
+
+        def _mark(_ev: Event, size: int = flushed_to, f: "SimFile" = self) -> None:
+            if size > f.synced_size:
+                f.synced_size = size
+
+        if ev is not None:
+            ev.callbacks.append(_mark)
+        self._flushed_size = self.size
+        return ev
+
+    def sync(self):
+        """Generator: fsync — flush dirty bytes and wait for durability."""
+        self._check_alive()
+        self._start_flush()
+        pending = [ev for ev in self._pending_flushes if not ev.triggered]
+        self._pending_flushes = pending
+        if pending:
+            yield self.fs.engine.all_of(pending)
+        if self.size > self.synced_size:
+            self.synced_size = self.size
+        self.fs.stats.inc("fsyncs")
+        return None
+
+    # -- reads ----------------------------------------------------------------
+
+    def read(self, offset: int, nbytes: int, sequential: bool = False) -> Optional[Event]:
+        """Read a byte range; returns a wait event on page-cache miss.
+
+        Returns ``None`` when fully cached (no simulated time passes), else
+        an event firing when the device read(s) complete.  The pages are
+        inserted into the cache.
+        """
+        self._check_alive()
+        if offset < 0 or offset + nbytes > self.size:
+            raise FileSystemError(
+                f"read [{offset}, {offset + nbytes}) beyond EOF {self.size} in {self.path}"
+            )
+        cache = self.fs.page_cache
+        holes = cache.access(self.file_id, offset, nbytes)
+        if not holes:
+            self.fs.stats.inc("cached_reads")
+            return None
+        self.fs.stats.inc("device_reads")
+        events = []
+        for hole_off, hole_len in holes:
+            cache.fill(self.file_id, hole_off, hole_len)
+            for phys, run_len in self.fs._physical_runs(self, hole_off, hole_len):
+                events.append(self.fs.device.read(phys, run_len, sequential=sequential))
+        if len(events) == 1:
+            return events[0]
+        return self.fs.engine.all_of(events)
+
+    # -- internals ------------------------------------------------------------
+
+    def _check_alive(self) -> None:
+        if self.deleted:
+            raise FileSystemError(f"file {self.path} was deleted")
+
+
+class SimFileSystem:
+    """A mounted filesystem on one device, with a shared page cache."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        device: StorageDevice,
+        page_cache,
+        writeback_bytes: int = 256 * 1024,
+        dirty_limit_bytes: int = 1 * MB,
+    ) -> None:
+        from repro.fs.page_cache import PageCache  # local import to avoid cycle
+
+        if not isinstance(page_cache, PageCache):
+            raise FileSystemError("page_cache must be a PageCache instance")
+        self.engine = engine
+        self.device = device
+        self.page_cache = page_cache
+        self.writeback_bytes = writeback_bytes
+        self.dirty_limit_bytes = dirty_limit_bytes
+        self.stats = StatsSet()
+        self._files: Dict[str, SimFile] = {}
+        self._next_file_id = 1
+        self._next_extent = 0
+        self._free_extents: List[int] = []
+        self._extent_count = device.profile.capacity_bytes // EXTENT_BYTES
+
+    # -- namespace -------------------------------------------------------------
+
+    def create(
+        self,
+        path: str,
+        writeback_bytes: Optional[int] = None,
+        dirty_limit_bytes: Optional[int] = None,
+    ) -> SimFile:
+        """Create a new empty file (fails if it exists)."""
+        if path in self._files:
+            raise FileExistsInFS(path)
+        f = SimFile(
+            self,
+            path,
+            self._next_file_id,
+            writeback_bytes=writeback_bytes,
+            dirty_limit_bytes=dirty_limit_bytes,
+        )
+        self._next_file_id += 1
+        self._files[path] = f
+        self.stats.inc("files_created")
+        return f
+
+    def open(self, path: str) -> SimFile:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundInFS(path) from None
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def list(self, prefix: str = "") -> List[str]:
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def delete(self, path: str) -> None:
+        """Unlink a file: free extents, drop cached pages, TRIM the device."""
+        f = self._files.pop(path, None)
+        if f is None:
+            raise FileNotFoundInFS(path)
+        f.deleted = True
+        self.page_cache.invalidate_file(f.file_id)
+        for phys in f.extents:
+            self._free_extents.append(phys)
+            self.device.trim(phys, EXTENT_BYTES)
+        f.extents.clear()
+        self.stats.inc("files_deleted")
+
+    def install_synced(self, path: str, nbytes: int) -> SimFile:
+        """Create a file that already durably holds ``nbytes`` (fixtures).
+
+        Used by experiment pre-population to stand up a large existing
+        database instantly: extents are allocated and the durable watermark
+        set without any simulated I/O and without warming the page cache
+        (the dataset starts cold, as after a reboot).
+        """
+        f = self.create(path)
+        f.size = nbytes
+        f.synced_size = nbytes
+        f._flushed_size = nbytes
+        self._ensure_extents(f)
+        return f
+
+    def rename(self, old: str, new: str) -> None:
+        if new in self._files:
+            raise FileExistsInFS(new)
+        f = self._files.pop(old, None)
+        if f is None:
+            raise FileNotFoundInFS(old)
+        f.path = new
+        self._files[new] = f
+
+    # -- crash simulation --------------------------------------------------------
+
+    def crash(self) -> None:
+        """Simulate power loss: un-synced data vanishes.
+
+        Every file is truncated to its durable watermark and its cached pages
+        dropped; owners must rebuild state from ``records`` that fall below
+        the watermark.  All in-flight simulated work dies with the machine
+        (the engine's pending occurrences are cancelled).
+        """
+        self.engine.clear_pending()
+        for f in self._files.values():
+            f.size = f.synced_size
+            f._flushed_size = min(f._flushed_size, f.size)
+            f._pending_flushes.clear()
+            kept: List[Tuple[int, Any]] = []
+            durable = 0
+            for nbytes, record in f.records:
+                if durable + nbytes <= f.synced_size:
+                    kept.append((nbytes, record))
+                    durable += nbytes
+            f.records = kept
+            self.page_cache.invalidate_file(f.file_id)
+        self.stats.inc("crashes")
+
+    # -- allocation ---------------------------------------------------------------
+
+    def _ensure_extents(self, f: SimFile) -> None:
+        needed = (f.size + EXTENT_BYTES - 1) // EXTENT_BYTES
+        while len(f.extents) < needed:
+            if self._free_extents:
+                phys = self._free_extents.pop()
+            else:
+                if self._next_extent >= self._extent_count:
+                    raise OutOfSpaceError(
+                        f"device {self.device.profile.name} is full "
+                        f"({self._extent_count} extents)"
+                    )
+                phys = self._next_extent * EXTENT_BYTES
+                self._next_extent += 1
+            f.extents.append(phys)
+
+    def _physical_runs(self, f: SimFile, offset: int, nbytes: int):
+        """Map a logical byte range to (physical_offset, nbytes) runs."""
+        remaining = nbytes
+        pos = offset
+        while remaining > 0:
+            extent_idx = pos // EXTENT_BYTES
+            within = pos % EXTENT_BYTES
+            run = min(remaining, EXTENT_BYTES - within)
+            if extent_idx >= len(f.extents):
+                raise FileSystemError(
+                    f"range [{offset}, {offset + nbytes}) not allocated in {f.path}"
+                )
+            yield f.extents[extent_idx] + within, run
+            pos += run
+            remaining -= run

@@ -1,0 +1,31 @@
+"""Experiment harness: machines, scale presets, per-figure experiments."""
+
+from repro.harness.experiments import (
+    DEVICES,
+    EXPERIMENTS,
+    RunArtifacts,
+    clear_memo,
+    run_workload,
+)
+from repro.harness.machine import Machine
+from repro.harness.presets import PAPER, PRESETS, SMALL, TINY, ScalePreset, bench_preset, preset_by_name
+from repro.harness.report import ExperimentResult, format_table, render_sparkline
+
+__all__ = [
+    "DEVICES",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "Machine",
+    "PAPER",
+    "PRESETS",
+    "RunArtifacts",
+    "SMALL",
+    "ScalePreset",
+    "TINY",
+    "bench_preset",
+    "clear_memo",
+    "format_table",
+    "preset_by_name",
+    "render_sparkline",
+    "run_workload",
+]

@@ -1,0 +1,45 @@
+"""CLI: regenerate paper figures from the command line.
+
+Usage::
+
+    python -m repro.harness fig03            # one experiment
+    python -m repro.harness all              # every experiment
+    python -m repro.harness fig18 --preset tiny --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.experiments import EXPERIMENTS
+from repro.harness.presets import preset_by_name
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate figures from 'From Flash to 3D XPoint' (ISPASS 2020)",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id (paper figure) or 'all'",
+    )
+    parser.add_argument("--preset", default="small", help="tiny | small | paper")
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args(argv)
+
+    preset = preset_by_name(args.preset)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.time()
+        result = EXPERIMENTS[name](preset, seed=args.seed)
+        print(result.render())
+        print(f"[{name} regenerated in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

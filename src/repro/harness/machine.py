@@ -1,0 +1,88 @@
+"""Machine assembly: engine + device + filesystem + caches (+ optional NVM).
+
+One :class:`Machine` is the simulated analog of the paper's testbed server:
+a two-socket Xeon (the CPU cost model), one storage device under test, an
+Ext4-like filesystem and a page cache sized to the configured RAM (the paper
+boots with 8 GB against a 100 GB dataset).  For case study C a second,
+NVM-backed filesystem can be attached to host the WAL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.fs.filesystem import SimFileSystem
+from repro.fs.page_cache import PageCache
+from repro.lsm.costs import DEFAULT_COSTS, CostModel
+from repro.lsm.db import DB
+from repro.lsm.options import Options
+from repro.lsm.write_controller import WriteController
+from repro.sim.engine import Engine
+from repro.sim.rng import RandomStream
+from repro.storage.device import StorageDevice
+from repro.storage.profiles import DeviceProfile, nvm_dimm
+
+
+@dataclass
+class Machine:
+    """A fully assembled simulated host."""
+
+    engine: Engine
+    device: StorageDevice
+    fs: SimFileSystem
+    page_cache: PageCache
+    rng: RandomStream
+    nvm_fs: Optional[SimFileSystem] = None
+    costs: CostModel = DEFAULT_COSTS
+
+    @classmethod
+    def create(
+        cls,
+        profile: DeviceProfile,
+        page_cache_bytes: int,
+        seed: int = 1,
+        with_nvm: bool = False,
+        costs: Optional[CostModel] = None,
+    ) -> "Machine":
+        """Stand up a machine around one storage device."""
+        engine = Engine()
+        rng = RandomStream(seed, f"machine/{profile.name}")
+        device = StorageDevice(engine, profile, rng.fork("device"))
+        page_cache = PageCache(page_cache_bytes)
+        fs = SimFileSystem(engine, device, page_cache)
+        nvm_fs = None
+        if with_nvm:
+            nvm_device = StorageDevice(engine, nvm_dimm(), rng.fork("nvm"))
+            # The NVM region is small and byte-addressable; give it its own
+            # tiny page-cache namespace (writes are effectively direct).
+            nvm_fs = SimFileSystem(engine, nvm_device, PageCache(page_cache_bytes // 8))
+        return cls(
+            engine=engine,
+            device=device,
+            fs=fs,
+            page_cache=page_cache,
+            rng=rng,
+            nvm_fs=nvm_fs,
+            costs=costs or DEFAULT_COSTS,
+        )
+
+    def open_db(
+        self,
+        options: Options,
+        wal_on_nvm: bool = False,
+        controller: Optional[WriteController] = None,
+    ) -> DB:
+        """Open a DB on this machine (optionally logging to NVM)."""
+        wal_fs = self.nvm_fs if wal_on_nvm else None
+        if wal_on_nvm and wal_fs is None:
+            raise ValueError("machine was created without NVM (with_nvm=True)")
+        return DB(
+            self.engine,
+            self.fs,
+            options,
+            costs=self.costs,
+            wal_fs=wal_fs,
+            rng=self.rng.fork("db"),
+            controller=controller,
+        )

@@ -1,0 +1,75 @@
+"""From-scratch LSM-tree key-value store (RocksDB 5.17 analog).
+
+Public surface: :class:`~repro.lsm.db.DB`, :class:`~repro.lsm.options.Options`,
+:class:`~repro.lsm.write_batch.WriteBatch`, plus the building blocks
+(memtable, WAL, SST, compaction, write controller) for direct use in tests
+and case studies.
+"""
+
+from repro.lsm.block_cache import BlockCache
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.costs import DEFAULT_COSTS, CostModel
+from repro.lsm.db import DB
+from repro.lsm.format import KIND_DELETE, KIND_PUT, Entry
+from repro.lsm.memtable import MemTable, MemTableList
+from repro.lsm.options import (
+    HASH_REP,
+    SKIPLIST_REP,
+    WAL_BUFFERED,
+    WAL_OFF,
+    WAL_SYNC,
+    Options,
+)
+from repro.lsm.pipelined_write import WriteQueue, Writer
+from repro.lsm.skiplist import SkipList
+from repro.lsm.sst import SSTable, SSTBuilder
+from repro.lsm.value import Value, ValueRef, materialize, value_size
+from repro.lsm.version import FileMetadata, Version, VersionEdit, VersionSet
+from repro.lsm.wal import WalManager
+from repro.lsm.write_batch import WriteBatch
+from repro.lsm.write_controller import (
+    DELAYED,
+    NORMAL,
+    STOPPED,
+    StallMetrics,
+    WriteController,
+)
+
+__all__ = [
+    "BlockCache",
+    "BloomFilter",
+    "CostModel",
+    "DB",
+    "DEFAULT_COSTS",
+    "DELAYED",
+    "Entry",
+    "FileMetadata",
+    "HASH_REP",
+    "KIND_DELETE",
+    "KIND_PUT",
+    "MemTable",
+    "MemTableList",
+    "NORMAL",
+    "Options",
+    "SKIPLIST_REP",
+    "SSTBuilder",
+    "SSTable",
+    "STOPPED",
+    "SkipList",
+    "StallMetrics",
+    "Value",
+    "ValueRef",
+    "Version",
+    "VersionEdit",
+    "VersionSet",
+    "WAL_BUFFERED",
+    "WAL_OFF",
+    "WAL_SYNC",
+    "WalManager",
+    "WriteBatch",
+    "WriteController",
+    "WriteQueue",
+    "Writer",
+    "materialize",
+    "value_size",
+]

@@ -1,0 +1,75 @@
+"""LRU block cache (RocksDB's in-process cache of decoded data blocks).
+
+Kept deliberately small by default (8 MB, the RocksDB default) — the paper's
+setup leans on the OS page cache for bulk caching, and the block cache only
+short-circuits the block *decode* cost plus the page-cache round trip for
+very hot blocks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Tuple
+
+from repro.errors import DBError
+from repro.sim.stats import StatsSet
+
+BlockKey = Tuple[int, int]  # (sst number, block index)
+
+
+class BlockCache:
+    """Byte-budgeted LRU over (sst, block) keys."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise DBError(f"block cache capacity must be >= 0: {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._entries: "OrderedDict[BlockKey, int]" = OrderedDict()
+        self._used = 0
+        self.stats = StatsSet()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def lookup(self, key: BlockKey) -> bool:
+        """True on hit (promotes to MRU)."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.inc("hits")
+            return True
+        self.stats.inc("misses")
+        return False
+
+    def insert(self, key: BlockKey, charge: int) -> None:
+        """Insert/refresh a block, evicting LRU entries over budget."""
+        if charge <= 0:
+            raise DBError(f"block charge must be positive: {charge}")
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._used -= old
+        if charge > self.capacity_bytes:
+            self.stats.inc("rejected")
+            return
+        self._entries[key] = charge
+        self._used += charge
+        while self._used > self.capacity_bytes:
+            _oldest, old_charge = self._entries.popitem(last=False)
+            self._used -= old_charge
+            self.stats.inc("evictions")
+
+    def erase_file(self, sst_number: int) -> None:
+        """Drop all blocks of a deleted SST."""
+        stale = [k for k in self._entries if k[0] == sst_number]
+        for k in stale:
+            self._used -= self._entries.pop(k)
+        if stale:
+            self.stats.inc("files_erased")
+
+    def hit_rate(self) -> float:
+        hits = self.stats.get("hits")
+        total = hits + self.stats.get("misses")
+        return hits / total if total else 0.0

@@ -1,0 +1,320 @@
+"""Leveled compaction: picker and job.
+
+The picker is RocksDB's classic score-based leveled picker: Level 0 scores
+by file count against ``level0_file_num_compaction_trigger``; levels >= 1
+score by byte size against their targets.  The job k-way-merges the input
+tables, drops shadowed entries and bottommost tombstones, and writes size-
+capped output files to the next level.
+
+I/O modelling: input tables are read in ``compaction_readahead_bytes``
+chunks as the merge consumes them (freshly flushed inputs usually hit the
+page cache — deep-level inputs hit the device); outputs stream through
+buffered appends with an fsync per file.  CPU is charged per merged entry.
+Compaction therefore competes with foreground reads for device channels,
+which is the read/write interference at the heart of the paper's findings.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.errors import DBError
+from repro.lsm.format import KIND_DELETE
+from repro.lsm.sst import SSTBuilder
+from repro.lsm.version import FileMetadata, Version, VersionEdit, VersionSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lsm.db import DB
+
+_MERGE_BATCH = 256
+
+
+class Compaction:
+    """A picked compaction: inputs at two adjacent levels."""
+
+    def __init__(
+        self,
+        level: int,
+        output_level: int,
+        inputs_upper: List[FileMetadata],
+        inputs_lower: List[FileMetadata],
+    ) -> None:
+        if not inputs_upper:
+            raise DBError("compaction needs at least one upper-level input")
+        self.level = level
+        self.output_level = output_level
+        self.inputs_upper = inputs_upper
+        self.inputs_lower = inputs_lower
+
+    @property
+    def all_inputs(self) -> List[FileMetadata]:
+        return self.inputs_upper + self.inputs_lower
+
+    @property
+    def input_bytes(self) -> int:
+        return sum(f.file_bytes for f in self.all_inputs)
+
+    def key_range(self) -> Tuple[bytes, bytes]:
+        smallest = min(f.smallest for f in self.all_inputs)
+        largest = max(f.largest for f in self.all_inputs)
+        return smallest, largest
+
+    def mark(self, flag: bool) -> None:
+        for f in self.all_inputs:
+            f.being_compacted = flag
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Compaction L{self.level}->L{self.output_level} "
+            f"{len(self.inputs_upper)}+{len(self.inputs_lower)} files "
+            f"{self.input_bytes >> 20}MB>"
+        )
+
+
+class CompactionPicker:
+    """Score-based leveled compaction picker."""
+
+    def __init__(self, options) -> None:
+        self.options = options
+        # Round-robin cursors per level (largest-key of last compacted file).
+        self._cursors: Dict[int, bytes] = {}
+
+    def scores(self, versions: VersionSet) -> List[Tuple[float, int]]:
+        """(score, level) pairs, highest first, for levels that can compact."""
+        out = []
+        for level in range(self.options.num_levels - 1):
+            score = versions.compaction_score(level)
+            if score > 0:
+                out.append((score, level))
+        out.sort(reverse=True)
+        return out
+
+    def pick(self, versions: VersionSet) -> Optional[Compaction]:
+        """Pick the highest-score eligible compaction, or None."""
+        version = versions.current
+        for score, level in self.scores(versions):
+            if score < 1.0:
+                break
+            compaction = (
+                self._pick_l0(version)
+                if level == 0
+                else self._pick_level(version, level)
+            )
+            if compaction is not None:
+                compaction.mark(True)
+                return compaction
+        return None
+
+    def _pick_l0(self, version: Version) -> Optional[Compaction]:
+        l0 = version.levels[0]
+        if not l0 or any(f.being_compacted for f in l0):
+            # Only one L0 compaction at a time (RocksDB's intra-L0 rule).
+            return None
+        smallest = min(f.smallest for f in l0)
+        largest = max(f.largest for f in l0)
+        lower = version.overlapping_files(1, smallest, largest)
+        if any(f.being_compacted for f in lower):
+            return None
+        return Compaction(0, 1, list(l0), lower)
+
+    def _pick_level(self, version: Version, level: int) -> Optional[Compaction]:
+        files = version.levels[level]
+        if not files:
+            return None
+        cursor = self._cursors.get(level, b"")
+        # Start after the cursor, wrapping around (round-robin like RocksDB).
+        ordered = [f for f in files if f.smallest > cursor] + [
+            f for f in files if f.smallest <= cursor
+        ]
+        for meta in ordered:
+            if meta.being_compacted:
+                continue
+            lower = version.overlapping_files(level + 1, meta.smallest, meta.largest)
+            if any(f.being_compacted for f in lower):
+                continue
+            self._cursors[level] = meta.largest
+            return Compaction(level, level + 1, [meta], lower)
+        return None
+
+
+def _tracked_items(meta: FileMetadata, chunk: int, read_requests: List):
+    """Iterate a table's items, queueing chunked read requests as consumed.
+
+    Byte progress uses the table's mean entry size — the scheduling of the
+    read-ahead chunks only needs to be approximately aligned with merge
+    progress, and this keeps per-entry host cost minimal.
+    """
+    total = meta.sst.data_bytes
+    per_entry = max(1.0, total / meta.sst.entry_count)
+    entries_per_chunk = max(1, int(chunk / per_entry))
+    next_mark = 0
+    countdown = 0
+    for item in meta.sst.items():
+        if countdown == 0 and next_mark < total:
+            read_requests.append((meta, next_mark, min(chunk, total - next_mark)))
+            next_mark += chunk
+            countdown = entries_per_chunk
+        countdown -= 1
+        yield item
+
+
+class CompactionJob:
+    """Executes one picked compaction inside a background process."""
+
+    def __init__(self, db: "DB", compaction: Compaction) -> None:
+        self.db = db
+        self.compaction = compaction
+
+    def _is_bottommost(self) -> bool:
+        """True if no deeper level overlaps this compaction's key range."""
+        c = self.compaction
+        version = self.db.versions.current
+        if c.output_level >= self.db.options.num_levels - 1:
+            return True
+        smallest, largest = c.key_range()
+        for level in range(c.output_level + 1, self.db.options.num_levels):
+            if version.overlapping_files(level, smallest, largest):
+                return False
+        return True
+
+    def run(self):
+        """Generator: merge inputs, write outputs, install the edit."""
+        db = self.db
+        c = self.compaction
+        opts = db.options
+        chunk = opts.compaction_readahead_bytes
+        drop_tombstones = self._is_bottommost()
+        target_bytes = opts.target_file_size(c.output_level)
+
+        read_requests: List = []
+        # Decorate each stream with a (key, -seq) sort key so the k-way merge
+        # yields the newest entry first within one user key.
+        decorated = [
+            (((k, -e[0]), k, e) for k, e in _tracked_items(meta, chunk, read_requests))
+            for meta in c.all_inputs
+        ]
+        merged = heapq.merge(*decorated)
+
+        outputs: List[Tuple[SSTBuilder, object]] = []  # (builder, sim file)
+        new_files: List[FileMetadata] = []
+        builder: Optional[SSTBuilder] = None
+        out_file = None
+        appended = 0  # bytes already appended for the current output
+        prev_key: Optional[bytes] = None
+        batch = 0
+        cpu_pending = 0
+        entries_out = 0
+        entries_in = 0
+        pending_events: List = []
+
+        def start_output():
+            nonlocal builder, out_file, appended
+            number = db.versions.new_file_number()
+            builder = SSTBuilder(number, opts.block_size, opts.bloom_bits_per_key)
+            out_file = db.fs.create(f"sst/{number:06d}.sst")
+            appended = 0
+
+        def finish_output_steps():
+            """Generator: final append + fsync + metadata for current output."""
+            nonlocal builder, out_file, appended
+            if builder is None or builder.empty():
+                builder, out_file = None, None
+                return
+            sst = builder.finish()
+            out_file.payload = sst
+            remaining = sst.file_bytes - appended
+            if remaining > 0:
+                bp = out_file.append(remaining)
+                if bp is not None:
+                    yield bp
+            yield from out_file.sync()
+            meta = FileMetadata(sst.number, sst, out_file, c.output_level)
+            new_files.append(meta)
+            builder, out_file = None, None
+
+        start_output()
+        for _, key, entry in merged:
+            entries_in += 1
+            if key == prev_key:
+                continue  # shadowed by a newer entry
+            prev_key = key
+            if drop_tombstones and entry[1] == KIND_DELETE:
+                batch += 1
+                continue
+            if builder is None:
+                start_output()
+            builder.add(key, entry)
+            entries_out += 1
+            batch += 1
+
+            # Stream output in chunk-sized appends (paced by the limiter).
+            if builder.estimated_bytes - appended >= chunk:
+                grow = builder.estimated_bytes - appended
+                appended += grow
+                if db.rate_limiter is not None:
+                    pace = db.rate_limiter.request(grow)
+                    if pace:
+                        yield pace
+                bp = out_file.append(grow)
+                if bp is not None:
+                    pending_events.append(bp)
+
+            if builder.estimated_bytes >= target_bytes:
+                yield from finish_output_steps()
+
+            if batch >= _MERGE_BATCH:
+                cpu_pending += db.costs.compaction_entries(batch)
+                batch = 0
+                if cpu_pending:
+                    yield cpu_pending
+                    cpu_pending = 0
+                for meta, offset, nbytes in read_requests:
+                    ev = meta.file.read(offset, nbytes, sequential=True)
+                    if ev is not None:
+                        pending_events.append(ev)
+                read_requests.clear()
+                if pending_events:
+                    if len(pending_events) == 1:
+                        yield pending_events[0]
+                    else:
+                        yield db.engine.all_of(pending_events)
+                    pending_events.clear()
+
+        # Tail: remaining CPU, reads, and the final output file.
+        if batch:
+            cpu_pending += db.costs.compaction_entries(batch)
+        if cpu_pending:
+            yield cpu_pending
+        for meta, offset, nbytes in read_requests:
+            ev = meta.file.read(offset, nbytes, sequential=True)
+            if ev is not None:
+                pending_events.append(ev)
+        read_requests.clear()
+        if pending_events:
+            if len(pending_events) == 1:
+                yield pending_events[0]
+            else:
+                yield db.engine.all_of(pending_events)
+            pending_events.clear()
+        yield from finish_output_steps()
+
+        # Install the result.
+        edit = VersionEdit()
+        for meta in c.all_inputs:
+            edit.delete_file(meta.level, meta.number)
+        for meta in new_files:
+            edit.add_file(c.output_level, meta)
+        db.versions.apply(edit)
+        yield db.costs.manifest_apply_ns
+        yield from db.versions.log_edit(edit)
+        c.mark(False)
+
+        db.stats.inc("compaction.count")
+        db.stats.inc("compaction.bytes_read", c.input_bytes)
+        db.stats.inc(
+            "compaction.bytes_written", sum(f.file_bytes for f in new_files)
+        )
+        db.stats.inc("compaction.entries_in", entries_in)
+        db.stats.inc("compaction.entries_out", entries_out)
+        return new_files

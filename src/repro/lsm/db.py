@@ -1,0 +1,741 @@
+"""The key-value store facade (RocksDB analog).
+
+All public operations are *generators* meant to run inside simulated
+processes::
+
+    engine = Engine()
+    db = DB(engine, fs, Options())
+
+    def client():
+        yield from db.put(b"k", b"v")
+        value = yield from db.get(b"k")
+
+    engine.process(client())
+    engine.run()
+
+For scripting convenience, :meth:`DB.run_sync` drives a single operation to
+completion on an otherwise idle engine.
+
+Write path (paper Algorithms 1 and 2): throttle -> join writer queue ->
+leader forms group, switches memtable if full, appends one WAL record for
+the group -> members apply their batches to the memtable concurrently.
+Read path: memtables (newest first) -> L0 files newest-first (every file
+whose range covers the key is searched — the paper's L0 query overhead) ->
+binary-searched single file per deeper level; block cache and page cache
+short-circuit device reads.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import DBClosedError, DBError
+from repro.fs.filesystem import SimFileSystem
+from repro.lsm.block_cache import BlockCache
+from repro.lsm.compaction import CompactionJob, CompactionPicker
+from repro.lsm.costs import DEFAULT_COSTS, CostModel
+from repro.lsm.flush import FlushJob
+from repro.lsm.format import KIND_PUT, Entry
+from repro.lsm.memtable import MemTable, MemTableList
+from repro.lsm.options import Options
+from repro.lsm.pipelined_write import ROLE_LEADER, WriteQueue, Writer
+from repro.lsm.value import Value, materialize
+from repro.lsm.version import FileMetadata, VersionSet
+from repro.lsm.wal import WalManager
+from repro.lsm.write_batch import WriteBatch
+from repro.lsm.write_controller import (
+    DELAYED,
+    NORMAL,
+    STOPPED,
+    StallMetrics,
+    WriteController,
+)
+from repro.sim.engine import Engine
+from repro.sim.resources import Store
+from repro.sim.rng import RandomStream
+from repro.sim.stats import StatsSet
+
+_CLOSE = object()
+
+
+def _manual_compaction(level, inputs, lower):
+    """Build a Compaction object for :meth:`DB.compact_range`."""
+    from repro.lsm.compaction import Compaction
+
+    return Compaction(level, level + 1, list(inputs), list(lower))
+
+
+class DB:
+    """An LSM-tree key-value store on a simulated filesystem."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        fs: SimFileSystem,
+        options: Optional[Options] = None,
+        costs: Optional[CostModel] = None,
+        wal_fs: Optional[SimFileSystem] = None,
+        rng: Optional[RandomStream] = None,
+        controller: Optional[WriteController] = None,
+    ) -> None:
+        self.engine = engine
+        self.fs = fs
+        self.options = options or Options()
+        self.options.validate()
+        self.costs = costs or DEFAULT_COSTS
+        self.rng = rng or RandomStream(0, "db")
+        self.stats = StatsSet()
+        self._closed = False
+
+        self.block_cache = BlockCache(self.options.block_cache_bytes)
+        recovering = fs.exists("MANIFEST")
+        if recovering:
+            self.versions = VersionSet.recover(
+                fs, self.options, on_file_dead=self._on_file_dead
+            )
+            self.stats.inc("recovery.files", self.versions.current.num_files())
+        else:
+            self.versions = VersionSet(
+                fs, self.options, on_file_dead=self._on_file_dead
+            )
+        self._wal_fs = wal_fs or fs
+        pre_crash_logs = [
+            p for p in self._wal_fs.list(prefix="wal/")
+        ] if recovering else []
+        self.wal = WalManager(
+            engine, self._wal_fs, self.options, self.costs, dirname="wal"
+        )
+        self.memtables = MemTableList(self._new_memtable)
+        self.memtables.mutable.min_log_number = self.wal.current_number
+        if recovering:
+            self._replay_wal(pre_crash_logs)
+
+        self.controller = controller or WriteController(engine, self.options)
+        # One writer queue by default (RocksDB); optionally sharded per the
+        # paper's Section VI implication on write-queue parallelism.
+        self.write_queues = [
+            WriteQueue(
+                engine,
+                self.options.max_write_batch_group_size,
+                self.options.enable_pipelined_write,
+            )
+            for _ in range(self.options.write_queue_shards)
+        ]
+        self.write_queue = self.write_queues[0]
+        self.picker = CompactionPicker(self.options)
+        self.rate_limiter = None
+        if self.options.rate_limit_bytes_per_sec > 0:
+            from repro.lsm.rate_limiter import RateLimiter
+
+            self.rate_limiter = RateLimiter(
+                engine, self.options.rate_limit_bytes_per_sec
+            )
+
+        self._flush_store: Store = Store(engine)
+        self._compaction_store: Store = Store(engine)
+        self._compaction_tokens = 0
+        self._active_compactions = 0
+        self._active_flushes = 0
+        self._workers = []
+        for i in range(self.options.max_background_flushes):
+            self._workers.append(
+                engine.process(self._flush_worker(), name=f"flush-{i}")
+            )
+        for i in range(self.options.max_background_compactions):
+            self._workers.append(
+                engine.process(self._compaction_worker(), name=f"compact-{i}")
+            )
+        self._update_stall_state()
+
+    # ------------------------------------------------------------------ setup
+
+    def _new_memtable(self) -> MemTable:
+        mt = MemTable(
+            rep=self.options.memtable_rep,
+            entry_overhead=self.options.memtable_entry_overhead,
+            rng=self.rng.fork(f"memtable/{MemTable._ids + 1}"),
+        )
+        mt.min_log_number = self.wal.current_number if hasattr(self, "wal") else 0
+        return mt
+
+    def _on_file_dead(self, meta: FileMetadata) -> None:
+        self.block_cache.erase_file(meta.number)
+
+    def _replay_wal(self, pre_crash_logs: List[str]) -> None:
+        """Re-insert durable records of pre-crash logs into the memtable.
+
+        The old logs stay live (adopted by the WalManager) until the
+        memtable holding their replayed records reaches Level 0, so a second
+        crash before that flush still recovers everything.
+        """
+        count = 0
+        min_old = None
+        for path in pre_crash_logs:
+            f = self._wal_fs.open(path)
+            number = int(path.rsplit("/", 1)[-1].split(".")[0])
+            min_old = number if min_old is None else min(min_old, number)
+            for _nbytes, group in f.records:
+                for key, entry in group:
+                    self.memtables.mutable.add(key, entry)
+                    self.versions.last_sequence = max(
+                        self.versions.last_sequence, entry[0]
+                    )
+                    count += 1
+        if count and min_old is not None:
+            self.memtables.mutable.min_log_number = min_old
+        self.stats.inc("recovery.wal_records", count)
+
+    # --------------------------------------------------------------- lifecycle
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DBClosedError("operation on a closed DB")
+
+    def close(self):
+        """Generator: stop background workers (pending work is abandoned)."""
+        self._check_open()
+        self._closed = True
+        for _ in range(self.options.max_background_flushes):
+            self._flush_store.put(_CLOSE)
+        for _ in range(self.options.max_background_compactions):
+            self._compaction_store.put(_CLOSE)
+        yield 0
+
+    def run_sync(self, operation):
+        """Drive one operation generator to completion (scripting helper).
+
+        Runs the engine until the operation finishes; background work keeps
+        running during (and possibly after) it.
+        """
+        proc = self.engine.process(operation, name="run_sync")
+        # Join the process so failures re-raise here, not from Engine.run().
+        proc.callbacks.append(lambda _ev: None)
+        while not proc.done:
+            if self.engine.peek() is None:
+                raise DBError("operation cannot make progress (engine idle)")
+            self.engine.run(until=self.engine.peek())
+        if proc.exception is not None:
+            raise proc.exception
+        return proc.value
+
+    # ------------------------------------------------------------------- writes
+
+    def put(self, key: bytes, value: Value):
+        """Generator: insert/overwrite one key."""
+        batch = WriteBatch().put(key, value)
+        result = yield from self.write(batch)
+        return result
+
+    def delete(self, key: bytes):
+        """Generator: write a tombstone for one key."""
+        batch = WriteBatch().delete(key)
+        result = yield from self.write(batch)
+        return result
+
+    def write(self, batch: WriteBatch):
+        """Generator: apply a batch atomically (Algorithms 1 + 2)."""
+        self._check_open()
+        if not batch.ops:
+            return 0
+        start = self.engine.now
+
+        # --- Algorithm 1: the write control process -------------------------
+        while self.controller.state == STOPPED:
+            self.stats.inc("stall.stops_hit")
+            yield self.controller.stop_wait_event()
+        if self.controller.state == DELAYED:
+            self.controller.on_delayed_write(self._backlog_bytes())
+            delay = self.controller.get_delay(batch.data_bytes)
+            if delay > 0:
+                self.stats.inc("stall.delays_hit")
+                self.stats.inc("stall.delay_ns", delay)
+                yield delay
+            while self.controller.state == STOPPED:
+                self.stats.inc("stall.stops_hit")
+                yield self.controller.stop_wait_event()
+
+        # --- Algorithm 2: the pipelined write process -------------------------
+        writer = Writer(list(batch.ops), batch.data_bytes, self.engine.event())
+        writer.queue = self._queue_for(batch)
+        if writer.queue.join(writer):
+            role = ROLE_LEADER
+        else:
+            role = yield writer.event
+        if role == ROLE_LEADER:
+            yield from self._lead_group(writer)
+        else:
+            yield from self._memtable_phase(writer)
+
+        self.stats.inc("puts", len(batch.ops))
+        latency = self.engine.now - start
+        self.stats.histogram("write.latency").record(latency)
+        return latency
+
+    def _queue_for(self, batch: WriteBatch) -> WriteQueue:
+        """Writer-queue shard for a batch (single queue unless sharded)."""
+        if len(self.write_queues) == 1:
+            return self.write_queues[0]
+        first_key = batch.ops[0][1]
+        return self.write_queues[zlib.crc32(first_key) % len(self.write_queues)]
+
+    def mean_waiting_writers(self) -> float:
+        """Time-averaged writers waiting across all queue shards (Fig. 16)."""
+        return sum(q.mean_waiting() for q in self.write_queues)
+
+    def _lead_group(self, leader: Writer):
+        """Leader duties: group formation, memtable switch, WAL, fan-out."""
+        group = leader.queue.form_group(leader)
+        cpu = (
+            self.costs.write_group_leader_ns
+            + self.costs.write_group_per_writer_ns * len(group)
+        )
+
+        # Switch the memtable between groups, never inside one (keeps the
+        # WAL/memtable correspondence crash-safe).
+        if (
+            self.memtables.mutable.charged_bytes
+            >= self.options.write_buffer_size
+        ):
+            yield from self._switch_memtable()
+
+        # Assign sequence numbers in queue order.
+        seq = self.versions.last_sequence
+        wal_records: List[Tuple[bytes, Entry]] = []
+        for writer in group.writers:
+            entries: List[Tuple[bytes, Entry]] = []
+            for kind, key, value in writer.records:
+                seq += 1
+                entry: Entry = (seq, kind, value if kind == KIND_PUT else None)
+                entries.append((key, entry))
+            writer.records = entries  # now (key, entry) pairs
+            wal_records.extend(entries)
+        self.versions.last_sequence = seq
+
+        wal_number = self.wal.current_number
+        for writer in group.writers:
+            writer.wal_number = wal_number
+        wal_cpu, wal_event = self.wal.add_group(wal_records)
+        total_cpu = cpu + wal_cpu
+        if total_cpu:
+            yield total_cpu
+        if wal_event is not None:
+            yield wal_event
+
+        leader.queue.wal_phase_done(group)
+        yield from self._memtable_phase(leader)
+
+    def _memtable_phase(self, writer: Writer):
+        """One group member applies its batch to the mutable memtable."""
+        cpu = 0
+        mt = self.memtables.mutable
+        # If a later group switched the memtable while we were waking up,
+        # our records live in an older WAL: pin it via min_log_number.
+        if self.wal.enabled and writer.wal_number:
+            mt.min_log_number = min(mt.min_log_number, writer.wal_number)
+        for key, entry in writer.records:
+            cpu += self.costs.memtable_insert(mt.entry_count)
+            mt.add(key, entry)
+        if cpu:
+            yield cpu
+        writer.queue.member_done(writer.group)
+
+    def _switch_memtable(self):
+        """Seal the mutable memtable; stall if too many immutables pend."""
+        limit = max(1, self.options.max_write_buffer_number - 1)
+        while len(self.memtables.immutables) >= limit:
+            self._update_stall_state()
+            if self.controller.state != STOPPED:
+                break  # a flush finished in between
+            self.stats.inc("stall.memtable_stops")
+            yield self.controller.stop_wait_event()
+        sealed = self.memtables.switch()
+        if self.wal.enabled:
+            self.wal.roll(self.versions.new_file_number())
+            self.memtables.mutable.min_log_number = self.wal.current_number
+        self._flush_store.put(sealed)
+        self.stats.inc("memtable.switches")
+        self._update_stall_state()
+
+    # -------------------------------------------------------------------- reads
+
+    def get(self, key: bytes):
+        """Generator: point lookup; returns the value, or None."""
+        self._check_open()
+        start = self.engine.now
+        self.stats.inc("gets")
+        cpu = 0
+        result: Optional[Value] = None
+        found = False
+
+        # 1. memtables, newest first.
+        for table in self.memtables.tables_newest_first():
+            cpu += self.costs.memtable_lookup(table.entry_count)
+            entry = table.get(key)
+            if entry is not None:
+                found = True
+                result = entry[2] if entry[1] == KIND_PUT else None
+                self.stats.inc("get.memtable_hit")
+                break
+
+        if not found:
+            version = self.versions.ref_current()
+            try:
+                search = self._search_version(version, key, cpu)
+                entry = yield from search
+                cpu = 0
+                if entry is not None:
+                    found = True
+                    result = entry[2] if entry[1] == KIND_PUT else None
+            finally:
+                self.versions.unref(version)
+
+        if cpu:
+            yield cpu
+        if not found or result is None:
+            self.stats.inc("get.miss" if not found else "get.tombstone")
+        self.stats.histogram("read.latency").record(self.engine.now - start)
+        return result
+
+    def _search_version(self, version, key: bytes, cpu: int):
+        """Generator: search SST levels; returns the entry or None."""
+        costs = self.costs
+        # Level 0: every file whose range covers the key must be searched,
+        # newest first — the paper's L0 query overhead.
+        for meta in version.level0_files():
+            cpu += costs.sst_range_check_ns
+            if not meta.sst.key_in_range(key):
+                continue
+            self.stats.inc("get.l0_probes")
+            entry, cpu = yield from self._search_file(meta, key, cpu, l0=True)
+            if entry is not None:
+                self.stats.inc("get.l0_hit")
+                if cpu:
+                    yield cpu
+                return entry
+        # Deeper levels: at most one candidate file per level.
+        for level in range(1, self.options.num_levels):
+            meta = version.file_for_key(level, key)
+            cpu += costs.sst_range_check_ns
+            if meta is None:
+                continue
+            entry, cpu = yield from self._search_file(meta, key, cpu, l0=False)
+            if entry is not None:
+                self.stats.inc(f"get.l{level}_hit" if level <= 2 else "get.deep_hit")
+                if cpu:
+                    yield cpu
+                return entry
+        if cpu:
+            yield cpu
+        return None
+
+    def _search_file(self, meta: FileMetadata, key: bytes, cpu: int, l0: bool):
+        """Generator helper: probe one SST. Returns (entry, pending_cpu)."""
+        costs = self.costs
+        sst = meta.sst
+        if sst.bloom is not None:
+            cpu += costs.bloom_probe_ns
+            if not sst.may_contain(key):
+                self.stats.inc("bloom.useful")
+                return None, cpu
+        if l0:
+            cpu += costs.sst_search(sst.entry_count)
+        else:
+            cpu += costs.sst_index_search(sst.entry_count)
+        block_idx = sst.block_for_key(key)
+        cpu += costs.block_cache_lookup_ns
+        cache_key = (sst.number, block_idx)
+        if not self.block_cache.lookup(cache_key):
+            if cpu:
+                yield cpu
+            cpu = 0
+            offset, nbytes = sst.block_span(block_idx)
+            io_event = meta.file.read(offset, nbytes)
+            if io_event is not None:
+                yield io_event
+                self.stats.inc("get.block_device_reads")
+            cpu += costs.block_decode_ns
+            self.block_cache.insert(cache_key, nbytes)
+        return sst.find(key), cpu
+
+    def multi_get(self, keys: List[bytes]):
+        """Generator: point-lookup several keys; returns a list of values."""
+        out = []
+        for key in keys:
+            value = yield from self.get(key)
+            out.append(value)
+        return out
+
+    def scan(self, start: bytes, end: bytes, limit: Optional[int] = None):
+        """Generator: range scan [start, end); returns [(key, value)].
+
+        Merges memtables and every overlapping SST.  I/O is charged for the
+        data blocks each consulted table contributes.
+        """
+        self._check_open()
+        if end <= start:
+            return []
+        sources: List[Iterator[Tuple[bytes, Entry]]] = []
+        for table in self.memtables.tables_newest_first():
+            sources.append(
+                (k, e) for k, e in table.sorted_items() if start <= k < end
+            )
+        version = self.versions.ref_current()
+        try:
+            consulted: List[FileMetadata] = []
+            for meta in version.level0_files():
+                if meta.sst.overlaps(start, end):
+                    consulted.append(meta)
+            for level in range(1, self.options.num_levels):
+                consulted.extend(version.overlapping_files(level, start, end))
+            io_events = []
+            for meta in consulted:
+                sources.append(meta.sst.items_from(start))
+                first = meta.sst.block_for_key(start)
+                last = meta.sst.block_for_key(end)
+                for block in range(first, last + 1):
+                    offset, nbytes = meta.sst.block_span(block)
+                    ev = meta.file.read(offset, nbytes, sequential=True)
+                    if ev is not None:
+                        io_events.append(ev)
+            if io_events:
+                yield self.engine.all_of(io_events)
+
+            # Merge newest-first per key: decorate with (key, -seq).
+            import heapq as _heapq
+
+            merged = _heapq.merge(
+                *[(((k, -e[0]), k, e) for k, e in src) for src in sources]
+            )
+            out: List[Tuple[bytes, Value]] = []
+            prev_key = None
+            cpu = 0
+            for _, k, e in merged:
+                if k >= end:
+                    break
+                if k == prev_key:
+                    continue
+                prev_key = k
+                cpu += self.costs.block_decode_ns // 4
+                if e[1] == KIND_PUT:
+                    out.append((k, e[2]))
+                    if limit is not None and len(out) >= limit:
+                        break
+            if cpu:
+                yield cpu
+            self.stats.inc("scans")
+            return out
+        finally:
+            self.versions.unref(version)
+
+    def get_bytes(self, key: bytes):
+        """Generator: like :meth:`get` but materializes ValueRefs to bytes."""
+        value = yield from self.get(key)
+        return None if value is None else materialize(value)
+
+    # --------------------------------------------------------------- background
+
+    def _flush_worker(self):
+        while True:
+            item = yield self._flush_store.get()
+            if item is _CLOSE:
+                return
+            self._active_flushes += 1
+            job = FlushJob(self, item)
+            yield from job.run()
+            if item in self.memtables.immutables:
+                self.memtables.immutables.remove(item)
+            self._active_flushes -= 1
+            self._release_obsolete_wals()
+            self._update_stall_state()
+            self._maybe_schedule_compaction()
+
+    def _compaction_worker(self):
+        while True:
+            token = yield self._compaction_store.get()
+            self._compaction_tokens -= 1
+            if token is _CLOSE:
+                return
+            while not self._closed:
+                compaction = self.picker.pick(self.versions)
+                if compaction is None:
+                    break
+                self._active_compactions += 1
+                self._update_stall_state()
+                job = CompactionJob(self, compaction)
+                yield from job.run()
+                self._active_compactions -= 1
+                self._update_stall_state()
+                # Another worker may be able to run a non-conflicting pick.
+                self._maybe_schedule_compaction()
+
+    def _maybe_schedule_compaction(self) -> None:
+        if self._closed:
+            return
+        scores = self.picker.scores(self.versions)
+        if scores and scores[0][0] >= 1.0:
+            if self._compaction_tokens < self.options.max_background_compactions:
+                self._compaction_tokens += 1
+                self._compaction_store.put("go")
+
+    def _release_obsolete_wals(self) -> None:
+        if not self.wal.enabled:
+            return
+        live = [
+            getattr(t, "min_log_number", 0)
+            for t in self.memtables.tables_newest_first()
+        ]
+        min_needed = min(live) if live else self.wal.current_number
+        self.wal.release_up_to(min_needed - 1)
+
+    # ----------------------------------------------------------------- stalling
+
+    def _stall_metrics(self) -> StallMetrics:
+        return StallMetrics(
+            l0_files=self.versions.current.num_files(0),
+            immutable_memtables=len(self.memtables.immutables),
+            max_immutable_memtables=max(1, self.options.max_write_buffer_number - 1),
+            pending_compaction_bytes=self.versions.pending_compaction_bytes(),
+        )
+
+    def _update_stall_state(self) -> None:
+        before = self.controller.state
+        self.controller.update(self._stall_metrics())
+        after = self.controller.state
+        if before != after:
+            self.stats.inc(f"stall.to_{after}")
+            if after == NORMAL:
+                self.controller.reset_rate()
+        if after != NORMAL:
+            self._maybe_schedule_compaction()
+
+    def _backlog_bytes(self) -> int:
+        v = self.versions.current
+        return v.level_bytes(0) + self.versions.pending_compaction_bytes()
+
+    # ---------------------------------------------------------------- utilities
+
+    def flush_all(self):
+        """Generator: seal the mutable memtable and wait until L0 has it."""
+        self._check_open()
+        if not self.memtables.mutable.is_empty():
+            yield from self._switch_memtable()
+        while self.memtables.immutables:
+            yield 100_000  # poll: background flush is draining
+        return None
+
+    def wait_idle(self, poll_ns: int = 1_000_000):
+        """Generator: wait until flushes and compactions quiesce."""
+        while True:
+            busy = (
+                self.memtables.immutables
+                or self._active_flushes
+                or self._active_compactions
+                or (self.picker.scores(self.versions) and
+                    self.picker.scores(self.versions)[0][0] >= 1.0)
+            )
+            if not busy:
+                return None
+            yield poll_ns
+
+    def level_shape(self) -> List[int]:
+        """File count per level (diagnostics)."""
+        return [len(files) for files in self.versions.current.levels]
+
+    def approximate_size(self, start: bytes, end: bytes) -> int:
+        """Approximate on-disk bytes of the key range [start, end).
+
+        RocksDB's ``GetApproximateSizes``: sums each overlapping file's
+        footprint scaled by the fraction of its key span inside the range
+        (entry sizes are assumed uniform within a file).
+        """
+        if end <= start:
+            return 0
+        total = 0
+        version = self.versions.current
+        for level in range(self.options.num_levels):
+            for meta in version.overlapping_files(level, start, end):
+                sst = meta.sst
+                lo = max(0, self._key_index(sst, start))
+                hi = min(sst.entry_count, self._key_index(sst, end))
+                if hi > lo:
+                    total += sst.file_bytes * (hi - lo) // sst.entry_count
+        return total
+
+    @staticmethod
+    def _key_index(sst, key: bytes) -> int:
+        from bisect import bisect_left
+
+        return bisect_left(sst.keys, key)
+
+    def compact_range(self, start: Optional[bytes] = None, end: Optional[bytes] = None):
+        """Generator: manually compact [start, end] down level by level.
+
+        RocksDB's ``CompactRange``: flushes the memtable, then pushes every
+        overlapping file toward the bottommost populated level, dropping
+        shadowed entries and tombstones on the way.
+        """
+        self._check_open()
+        lo = start if start is not None else b"\x00"
+        hi = end if end is not None else b"\xff" * 32
+        yield from self.flush_all()
+        for level in range(self.options.num_levels - 1):
+            # Let background jobs drain so their inputs are free to pick.
+            yield from self.wait_idle()
+            version = self.versions.current
+            inputs = [
+                f for f in version.overlapping_files(level, lo, hi)
+                if not f.being_compacted
+            ]
+            if not inputs:
+                continue
+            smallest = min(f.smallest for f in inputs)
+            largest = max(f.largest for f in inputs)
+            lower = [
+                f
+                for f in version.overlapping_files(level + 1, smallest, largest)
+                if not f.being_compacted
+            ]
+            compaction = CompactionJob(
+                self,
+                _manual_compaction(level, inputs, lower),
+            )
+            compaction.compaction.mark(True)
+            yield from compaction.run()
+        self.stats.inc("manual_compactions")
+
+    def describe(self) -> str:
+        """Multi-line status report (RocksDB's 'rocksdb.stats' analog)."""
+        v = self.versions.current
+        lines = [
+            f"** DB status ({self.options.name}) at t={self.engine.now / 1e9:.3f}s **",
+            f"levels: {v.describe()}",
+            f"memtable: {self.memtables.mutable.charged_bytes >> 10} KB active, "
+            f"{len(self.memtables.immutables)} immutable",
+            f"stall state: {self.controller.state} "
+            f"(rate {self.controller.delayed_write_rate / 2**20:.1f} MB/s)",
+            f"flushes: {self.stats.get('flush.count')}  "
+            f"compactions: {self.stats.get('compaction.count')}  "
+            f"pending bytes: {self.versions.pending_compaction_bytes() >> 20} MB",
+            f"gets: {self.stats.get('gets')}  puts: {self.stats.get('puts')}  "
+            f"block cache hit rate: {self.block_cache.hit_rate():.1%}",
+            f"wal bytes: {self.wal.bytes_written >> 10} KB  "
+            f"delays hit: {self.stats.get('stall.delays_hit')}  "
+            f"stops hit: {self.stats.get('stall.stops_hit')}",
+        ]
+        return "\n".join(lines)
+
+    def property_value(self, name: str) -> float:
+        """A few RocksDB-style DB properties for reports."""
+        v = self.versions.current
+        if name == "num-files-at-level0":
+            return float(v.num_files(0))
+        if name == "total-sst-bytes":
+            return float(sum(f.file_bytes for f in v.all_files()))
+        if name == "pending-compaction-bytes":
+            return float(self.versions.pending_compaction_bytes())
+        if name == "num-immutable-mem-table":
+            return float(len(self.memtables.immutables))
+        if name == "cur-size-active-mem-table":
+            return float(self.memtables.mutable.charged_bytes)
+        raise DBError(f"unknown property {name!r}")

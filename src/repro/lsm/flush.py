@@ -1,0 +1,82 @@
+"""Flush: turning an immutable memtable into a Level-0 SST.
+
+A flush streams the sorted memtable contents into a new SST file in
+``compaction_readahead_bytes``-sized appends (large sequential writes on the
+device), fsyncs it, and installs it at Level 0 via a version edit.  CPU cost
+is charged per entry; write I/O goes through the filesystem so flushes
+compete with user reads for device channels — the interference the paper
+measures.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import DBError
+from repro.lsm.sst import SSTBuilder
+from repro.lsm.version import FileMetadata, VersionEdit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lsm.db import DB
+    from repro.lsm.memtable import MemTable
+
+_IO_CHUNK = 1 * 1024 * 1024
+
+
+class FlushJob:
+    """One memtable -> one Level-0 file."""
+
+    def __init__(self, db: "DB", memtable: "MemTable") -> None:
+        self.db = db
+        self.memtable = memtable
+
+    def run(self):
+        """Generator: perform the flush; returns the new FileMetadata."""
+        db = self.db
+        mt = self.memtable
+        if not mt.immutable:
+            raise DBError("flushing a mutable memtable")
+        if mt.is_empty():
+            return None
+
+        number = db.versions.new_file_number()
+        builder = SSTBuilder(
+            number, db.options.block_size, db.options.bloom_bits_per_key
+        )
+        for key, entry in mt.sorted_items():
+            builder.add(key, entry)
+        sst = builder.finish()
+
+        path = f"sst/{number:06d}.sst"
+        f = db.fs.create(path)
+        f.payload = sst
+
+        total = sst.file_bytes
+        entries = sst.entry_count
+        cpu_total = db.costs.flush_entries(entries)
+        written = 0
+        while written < total:
+            chunk = min(_IO_CHUNK, total - written)
+            written += chunk
+            cpu = cpu_total * chunk // total
+            if cpu:
+                yield cpu
+            if db.rate_limiter is not None:
+                pace = db.rate_limiter.request(chunk)
+                if pace:
+                    yield pace
+            backpressure = f.append(chunk)
+            if backpressure is not None:
+                yield backpressure
+        yield from f.sync()
+
+        meta = FileMetadata(number, sst, f, level=0)
+        edit = VersionEdit().add_file(0, meta)
+        db.versions.apply(edit)
+        yield db.costs.manifest_apply_ns
+        yield from db.versions.log_edit(edit)
+
+        db.stats.inc("flush.count")
+        db.stats.inc("flush.bytes", total)
+        db.stats.inc("flush.entries", entries)
+        return meta

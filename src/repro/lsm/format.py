@@ -1,0 +1,57 @@
+"""Internal record format shared by memtables, the WAL and SSTs.
+
+An internal entry is the tuple ``(seq, kind, value)`` attached to a key:
+
+* ``seq`` — global sequence number, monotonically increasing per write;
+* ``kind`` — :data:`KIND_PUT` or :data:`KIND_DELETE` (tombstone);
+* ``value`` — ``bytes`` or :class:`~repro.lsm.value.ValueRef` (PUT only).
+
+Newer entries shadow older ones for the same user key; tombstones are
+dropped when a compaction reaches the bottommost level.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.lsm.value import Value, value_size
+
+KIND_DELETE = 0
+KIND_PUT = 1
+
+Entry = Tuple[int, int, Optional[Value]]  # (seq, kind, value)
+
+
+def entry_value_size(entry: Entry) -> int:
+    """Logical value bytes of an entry (0 for tombstones)."""
+    value = entry[2]
+    if value is None:
+        return 0
+    # Hot path: avoid the generic value_size() dispatch.
+    if value.__class__ is bytes:
+        return len(value)
+    size = getattr(value, "size", None)
+    if size is not None:
+        return size
+    return value_size(value)
+
+
+def entry_charge(key: bytes, entry: Entry, overhead: int) -> int:
+    """Memory charged to the memtable for one entry (RocksDB arena analog)."""
+    return len(key) + entry_value_size(entry) + overhead
+
+
+def entry_file_bytes(key: bytes, entry: Entry) -> int:
+    """On-disk logical footprint of one entry inside an SST data block."""
+    # key + value + 8B seq/kind varint-ish header
+    value = entry[2]
+    if value is None:
+        return len(key) + 8
+    if value.__class__ is bytes:
+        return len(key) + len(value) + 8
+    return len(key) + entry_value_size(entry) + 8
+
+
+def wal_record_bytes(key: bytes, entry: Entry, record_overhead: int) -> int:
+    """On-disk logical footprint of one entry in the write-ahead log."""
+    return len(key) + entry_value_size(entry) + record_overhead

@@ -1,0 +1,189 @@
+"""Memtables: the in-memory write buffer of the LSM tree.
+
+Two representations are provided, mirroring RocksDB's pluggable memtable
+reps:
+
+* :class:`SkipListRep` — a real skiplist (default; supports cheap ordered
+  iteration at any time);
+* :class:`HashRep` — a dict that sorts on flush (much faster in Python;
+  used by the benchmark harness).
+
+Both charge identical *simulated* CPU costs through the
+:class:`~repro.lsm.costs.CostModel`, so they are interchangeable for every
+measurement; only host-Python speed differs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import DBError
+from repro.lsm.format import KIND_DELETE, Entry, entry_charge
+from repro.lsm.options import HASH_REP, SKIPLIST_REP
+from repro.lsm.skiplist import SkipList
+from repro.sim.rng import RandomStream
+
+
+class MemTableRep:
+    """Interface of a memtable representation."""
+
+    def insert(self, key: bytes, entry: Entry) -> bool:
+        raise NotImplementedError
+
+    def lookup(self, key: bytes) -> Optional[Entry]:
+        raise NotImplementedError
+
+    def sorted_items(self) -> Iterator[Tuple[bytes, Entry]]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class SkipListRep(MemTableRep):
+    def __init__(self, rng: Optional[RandomStream] = None) -> None:
+        self._list = SkipList(rng)
+
+    def insert(self, key: bytes, entry: Entry) -> bool:
+        return self._list.insert(key, entry)
+
+    def lookup(self, key: bytes) -> Optional[Entry]:
+        return self._list.get(key)
+
+    def sorted_items(self) -> Iterator[Tuple[bytes, Entry]]:
+        return iter(self._list)
+
+    def __len__(self) -> int:
+        return len(self._list)
+
+
+class HashRep(MemTableRep):
+    def __init__(self) -> None:
+        self._map: dict = {}
+
+    def insert(self, key: bytes, entry: Entry) -> bool:
+        new = key not in self._map
+        self._map[key] = entry
+        return new
+
+    def lookup(self, key: bytes) -> Optional[Entry]:
+        return self._map.get(key)
+
+    def sorted_items(self) -> Iterator[Tuple[bytes, Entry]]:
+        for key in sorted(self._map):
+            yield key, self._map[key]
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+
+def make_rep(name: str, rng: Optional[RandomStream] = None) -> MemTableRep:
+    if name == SKIPLIST_REP:
+        return SkipListRep(rng)
+    if name == HASH_REP:
+        return HashRep()
+    raise DBError(f"unknown memtable rep {name!r}")
+
+
+class MemTable:
+    """One write buffer; becomes immutable when full, then flushes to L0."""
+
+    _ids = 0
+
+    def __init__(
+        self,
+        rep: str = SKIPLIST_REP,
+        entry_overhead: int = 64,
+        rng: Optional[RandomStream] = None,
+    ) -> None:
+        MemTable._ids += 1
+        self.id = MemTable._ids
+        self._rep = make_rep(rep, rng)
+        self._entry_overhead = entry_overhead
+        self.charged_bytes = 0
+        self.immutable = False
+        self.first_seq: Optional[int] = None
+        self.last_seq: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self._rep)
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._rep)
+
+    def add(self, key: bytes, entry: Entry) -> None:
+        """Insert an entry; latest (seq, kind, value) per key wins."""
+        if self.immutable:
+            raise DBError("insert into an immutable memtable")
+        if not isinstance(key, bytes):
+            raise DBError(f"keys must be bytes, got {type(key).__name__}")
+        seq = entry[0]
+        if self._rep.insert(key, entry):
+            self.charged_bytes += entry_charge(key, entry, self._entry_overhead)
+        else:
+            # Overwrite: charge only the (possible) value growth.
+            self.charged_bytes += 0
+        if self.first_seq is None:
+            self.first_seq = seq
+        self.last_seq = seq
+
+    def get(self, key: bytes) -> Optional[Entry]:
+        """Latest entry for ``key`` (including tombstones) or None."""
+        return self._rep.lookup(key)
+
+    def mark_immutable(self) -> None:
+        self.immutable = True
+
+    def is_empty(self) -> bool:
+        return len(self._rep) == 0
+
+    def sorted_items(self) -> Iterator[Tuple[bytes, Entry]]:
+        """All (key, entry) pairs in key order (used by flush and scans)."""
+        return self._rep.sorted_items()
+
+    def live_entry_estimate(self) -> int:
+        return len(self._rep)
+
+    def tombstone_count(self) -> int:
+        return sum(1 for _, e in self._rep.sorted_items() if e[1] == KIND_DELETE)
+
+
+class MemTableList:
+    """The mutable memtable plus the queue of immutables awaiting flush."""
+
+    def __init__(self, factory) -> None:
+        self._factory = factory
+        self.mutable: MemTable = factory()
+        self.immutables: List[MemTable] = []  # oldest first
+
+    @property
+    def count(self) -> int:
+        return 1 + len(self.immutables)
+
+    def switch(self) -> MemTable:
+        """Seal the mutable memtable and allocate a fresh one."""
+        sealed = self.mutable
+        sealed.mark_immutable()
+        self.immutables.append(sealed)
+        self.mutable = self._factory()
+        return sealed
+
+    def pop_oldest_immutable(self) -> MemTable:
+        if not self.immutables:
+            raise DBError("no immutable memtable to flush")
+        return self.immutables.pop(0)
+
+    def lookup(self, key: bytes) -> Optional[Entry]:
+        """Check mutable first, then immutables newest-first."""
+        entry = self.mutable.get(key)
+        if entry is not None:
+            return entry
+        for table in reversed(self.immutables):
+            entry = table.get(key)
+            if entry is not None:
+                return entry
+        return None
+
+    def tables_newest_first(self) -> List[MemTable]:
+        return [self.mutable] + list(reversed(self.immutables))

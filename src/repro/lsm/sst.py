@@ -1,0 +1,190 @@
+"""Sorted String Tables.
+
+An SST holds a sorted run of (key, entry) pairs divided into fixed-size data
+blocks, with a block index and an optional bloom filter.  Following RocksDB
+practice for a 5.17-era setup, the index and filter are resident in memory
+once the table is open; only **data blocks** cost I/O — which is precisely
+the read path the paper's Level-0 experiments measure (index binary search is
+CPU, then one data-block read to confirm or reject the key).
+
+Content is kept as parallel Python arrays (``keys`` / ``entries``) attached
+to the simulated file as its payload; byte offsets are modelled so block
+reads hit the right device ranges.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import DBError
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.format import Entry, entry_file_bytes
+
+
+class SSTable:
+    """An immutable, sorted, block-structured table."""
+
+    def __init__(
+        self,
+        number: int,
+        keys: List[bytes],
+        entries: List[Entry],
+        block_size: int,
+        bloom_bits_per_key: int = 0,
+    ) -> None:
+        if len(keys) != len(entries):
+            raise DBError("keys/entries length mismatch")
+        if not keys:
+            raise DBError("SSTable cannot be empty")
+        if block_size <= 0:
+            raise DBError(f"block_size must be positive: {block_size}")
+        self.number = number
+        self.keys = keys
+        self.entries = entries
+        self.block_size = block_size
+        self.smallest = keys[0]
+        self.largest = keys[-1]
+
+        # Block layout: cut a new block whenever block_size logical bytes
+        # accumulate.  _block_first[i] is the index of block i's first entry;
+        # _block_offset[i] is its byte offset in the file (blocks are usually
+        # slightly smaller than block_size since entries do not split).
+        block_first: List[int] = [0]
+        block_offset: List[int] = [0]
+        acc = 0
+        total = 0
+        for idx in range(len(keys)):
+            nbytes = entry_file_bytes(keys[idx], entries[idx])
+            if acc + nbytes > block_size and acc > 0:
+                block_first.append(idx)
+                block_offset.append(total)
+                acc = 0
+            acc += nbytes
+            total += nbytes
+        self._block_first = block_first
+        self._block_offset = block_offset
+        self.data_bytes = total
+        # Index/footer overhead: one handle per block plus per-key restarts.
+        self.index_bytes = len(block_first) * 24 + len(keys) * 2
+        self.bloom: Optional[BloomFilter] = None
+        if bloom_bits_per_key > 0:
+            self.bloom = BloomFilter(keys, bloom_bits_per_key)
+        self.file_bytes = self.data_bytes + self.index_bytes + (
+            self.bloom.approximate_bytes if self.bloom else 0
+        )
+
+    # -- metadata -----------------------------------------------------------
+
+    @property
+    def entry_count(self) -> int:
+        return len(self.keys)
+
+    @property
+    def block_count(self) -> int:
+        return len(self._block_first)
+
+    def key_in_range(self, key: bytes) -> bool:
+        return self.smallest <= key <= self.largest
+
+    def overlaps(self, smallest: bytes, largest: bytes) -> bool:
+        return not (self.largest < smallest or largest < self.smallest)
+
+    def may_contain(self, key: bytes) -> bool:
+        """Bloom check (always True without a filter)."""
+        if self.bloom is None:
+            return True
+        return self.bloom.may_contain(key)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def block_for_key(self, key: bytes) -> int:
+        """Index binary search: which data block could hold ``key``."""
+        entry_idx = bisect_left(self.keys, key)
+        if entry_idx >= len(self.keys):
+            entry_idx = len(self.keys) - 1
+        block = bisect_right(self._block_first, entry_idx) - 1
+        return max(0, block)
+
+    def block_span(self, block_idx: int) -> Tuple[int, int]:
+        """(file_offset, nbytes) of one data block."""
+        if not 0 <= block_idx < len(self._block_first):
+            raise DBError(f"block index out of range: {block_idx}")
+        offset = self._block_offset[block_idx]
+        if block_idx == len(self._block_first) - 1:
+            nbytes = self.data_bytes - offset
+        else:
+            nbytes = self._block_offset[block_idx + 1] - offset
+        return offset, max(1, nbytes)
+
+    def find(self, key: bytes) -> Optional[Entry]:
+        """Exact-match lookup in the in-memory arrays (after block 'read')."""
+        idx = bisect_left(self.keys, key)
+        if idx < len(self.keys) and self.keys[idx] == key:
+            return self.entries[idx]
+        return None
+
+    # -- iteration ---------------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[bytes, Entry]]:
+        return zip(self.keys, self.entries)
+
+    def items_from(self, start: bytes) -> Iterator[Tuple[bytes, Entry]]:
+        idx = bisect_left(self.keys, start)
+        for i in range(idx, len(self.keys)):
+            yield self.keys[i], self.entries[i]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SSTable #{self.number} n={self.entry_count} "
+            f"[{self.smallest!r}..{self.largest!r}]>"
+        )
+
+
+class SSTBuilder:
+    """Accumulates sorted (key, entry) pairs and produces an :class:`SSTable`."""
+
+    def __init__(
+        self,
+        number: int,
+        block_size: int,
+        bloom_bits_per_key: int = 0,
+    ) -> None:
+        self.number = number
+        self.block_size = block_size
+        self.bloom_bits_per_key = bloom_bits_per_key
+        self._keys: List[bytes] = []
+        self._entries: List[Entry] = []
+        self._bytes = 0
+
+    def add(self, key: bytes, entry: Entry) -> None:
+        if self._keys and key <= self._keys[-1]:
+            raise DBError(
+                f"keys must be added in strictly increasing order: "
+                f"{key!r} after {self._keys[-1]!r}"
+            )
+        self._keys.append(key)
+        self._entries.append(entry)
+        self._bytes += entry_file_bytes(key, entry)
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._keys)
+
+    @property
+    def estimated_bytes(self) -> int:
+        return self._bytes
+
+    def empty(self) -> bool:
+        return not self._keys
+
+    def finish(self) -> SSTable:
+        if not self._keys:
+            raise DBError("cannot finish an empty SSTable")
+        return SSTable(
+            self.number,
+            self._keys,
+            self._entries,
+            self.block_size,
+            self.bloom_bits_per_key,
+        )

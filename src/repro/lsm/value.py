@@ -1,0 +1,60 @@
+"""Value representation.
+
+Library users store real ``bytes``.  Benchmarks store :class:`ValueRef`
+descriptors instead: a deterministic (seed, size) pair whose bytes can be
+regenerated on demand.  This lets a simulated run carry a "100 GB" dataset
+without 100 GB of Python heap — all size accounting in the store uses the
+*logical* size, so the I/O and memory behaviour is identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import DBError
+
+
+@dataclass(frozen=True)
+class ValueRef:
+    """A deterministic synthetic value of ``size`` logical bytes."""
+
+    seed: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise DBError(f"value size must be >= 0: {self.size}")
+
+    def materialize(self) -> bytes:
+        """Regenerate the value bytes (deterministic in ``seed``)."""
+        if self.size == 0:
+            return b""
+        out = bytearray()
+        counter = 0
+        while len(out) < self.size:
+            out += hashlib.sha256(f"{self.seed}:{counter}".encode()).digest()
+            counter += 1
+        return bytes(out[: self.size])
+
+
+Value = Union[bytes, ValueRef]
+
+
+def value_size(value: Value) -> int:
+    """Logical size in bytes of either representation."""
+    if isinstance(value, ValueRef):
+        return value.size
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    raise DBError(f"unsupported value type: {type(value).__name__}")
+
+
+def materialize(value: Value) -> bytes:
+    """Return the concrete bytes of either representation."""
+    if isinstance(value, ValueRef):
+        return value.materialize()
+    if isinstance(value, (bytes, bytearray)):
+        return bytes(value)
+    raise DBError(f"unsupported value type: {type(value).__name__}")

@@ -1,0 +1,324 @@
+"""Version management: levels, file metadata, manifest.
+
+A :class:`Version` is an immutable snapshot of the level structure.  Reads
+reference the version they started on; compactions install new versions via
+:class:`VersionEdit`.  Files are reference-counted across versions and their
+simulated storage is reclaimed only when no live version references them —
+the same lifetime rules as RocksDB, which matter here because a GET may be
+suspended on a device read while a compaction deletes the file it is reading.
+
+Level invariants (checked by :meth:`Version.check_invariants`):
+
+* Level 0 files are ordered newest-first and may overlap;
+* Levels >= 1 are sorted by smallest key with pairwise-disjoint key ranges.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import DBError
+from repro.fs.filesystem import SimFile, SimFileSystem
+from repro.lsm.options import Options
+from repro.lsm.sst import SSTable
+from repro.sim.stats import StatsSet
+
+
+class FileMetadata:
+    """A live SST file: table content + its simulated file + refcount."""
+
+    __slots__ = ("number", "sst", "file", "level", "being_compacted", "refs")
+
+    def __init__(self, number: int, sst: SSTable, file: SimFile, level: int) -> None:
+        self.number = number
+        self.sst = sst
+        self.file = file
+        self.level = level
+        self.being_compacted = False
+        self.refs = 0
+
+    @property
+    def smallest(self) -> bytes:
+        return self.sst.smallest
+
+    @property
+    def largest(self) -> bytes:
+        return self.sst.largest
+
+    @property
+    def file_bytes(self) -> int:
+        return self.sst.file_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<File #{self.number} L{self.level} {self.file_bytes}B>"
+
+
+class VersionEdit:
+    """A delta applied to the current version (added/removed files)."""
+
+    def __init__(self) -> None:
+        self.added: List[Tuple[int, FileMetadata]] = []  # (level, file)
+        self.deleted: List[Tuple[int, int]] = []  # (level, file number)
+
+    def add_file(self, level: int, meta: FileMetadata) -> "VersionEdit":
+        self.added.append((level, meta))
+        return self
+
+    def delete_file(self, level: int, number: int) -> "VersionEdit":
+        self.deleted.append((level, number))
+        return self
+
+    def encoded_bytes(self) -> int:
+        """Approximate manifest record size for this edit."""
+        return 16 + 48 * len(self.added) + 12 * len(self.deleted)
+
+
+class Version:
+    """Immutable snapshot of the LSM level structure."""
+
+    def __init__(self, num_levels: int) -> None:
+        self.levels: List[List[FileMetadata]] = [[] for _ in range(num_levels)]
+        # Parallel bisect keys for levels >= 1 (smallest key per file).
+        self._level_keys: List[List[bytes]] = [[] for _ in range(num_levels)]
+        self.refs = 0
+
+    # -- construction ------------------------------------------------------------
+
+    def _finalize(self) -> None:
+        for level in range(1, len(self.levels)):
+            files = self.levels[level]
+            files.sort(key=lambda f: f.smallest)
+            self._level_keys[level] = [f.smallest for f in files]
+
+    def check_invariants(self) -> None:
+        """Raise DBError if the level structure is malformed."""
+        for level, files in enumerate(self.levels):
+            if level == 0:
+                continue
+            for a, b in zip(files, files[1:]):
+                if a.largest >= b.smallest:
+                    raise DBError(
+                        f"L{level} files overlap: #{a.number} and #{b.number}"
+                    )
+
+    # -- queries -------------------------------------------------------------------
+
+    def level0_files(self) -> List[FileMetadata]:
+        """L0 files newest-first (the lookup order)."""
+        return self.levels[0]
+
+    def file_for_key(self, level: int, key: bytes) -> Optional[FileMetadata]:
+        """The single file in level >= 1 whose range may contain ``key``."""
+        keys = self._level_keys[level]
+        idx = bisect_right(keys, key) - 1
+        if idx < 0:
+            return None
+        meta = self.levels[level][idx]
+        if meta.largest < key:
+            return None
+        return meta
+
+    def overlapping_files(
+        self, level: int, smallest: bytes, largest: bytes
+    ) -> List[FileMetadata]:
+        """Files in ``level`` whose ranges intersect [smallest, largest]."""
+        files = self.levels[level]
+        if level == 0:
+            return [f for f in files if f.sst.overlaps(smallest, largest)]
+        keys = self._level_keys[level]
+        lo = bisect_left(keys, smallest)
+        if lo > 0 and files[lo - 1].largest >= smallest:
+            lo -= 1
+        out = []
+        for meta in files[lo:]:
+            if meta.smallest > largest:
+                break
+            out.append(meta)
+        return out
+
+    def level_bytes(self, level: int) -> int:
+        return sum(f.file_bytes for f in self.levels[level])
+
+    def num_files(self, level: Optional[int] = None) -> int:
+        if level is None:
+            return sum(len(files) for files in self.levels)
+        return len(self.levels[level])
+
+    def all_files(self) -> List[FileMetadata]:
+        return [f for files in self.levels for f in files]
+
+    def describe(self) -> str:
+        parts = []
+        for level, files in enumerate(self.levels):
+            if files:
+                parts.append(f"L{level}:{len(files)}({self.level_bytes(level) >> 20}MB)")
+        return " ".join(parts) if parts else "(empty)"
+
+
+class VersionSet:
+    """Owns the current version, the manifest and file lifetimes."""
+
+    def __init__(
+        self,
+        fs: SimFileSystem,
+        options: Options,
+        on_file_dead: Optional[Callable[[FileMetadata], None]] = None,
+    ) -> None:
+        self.fs = fs
+        self.options = options
+        self.stats = StatsSet()
+        self._on_file_dead = on_file_dead
+        self.next_file_number = 1
+        self.last_sequence = 0
+        self.manifest = fs.create("MANIFEST")
+        self.current = Version(options.num_levels)
+        self.current.refs += 1
+        self._files: Dict[int, FileMetadata] = {}
+
+    @classmethod
+    def recover(
+        cls,
+        fs: SimFileSystem,
+        options: Options,
+        on_file_dead: Optional[Callable[[FileMetadata], None]] = None,
+    ) -> "VersionSet":
+        """Rebuild a version set by replaying durable manifest records.
+
+        Only records below the manifest's synced watermark survive a
+        simulated crash, so the recovered state is exactly the durable one.
+        """
+        vs = cls.__new__(cls)
+        vs.fs = fs
+        vs.options = options
+        vs.stats = StatsSet()
+        vs._on_file_dead = on_file_dead
+        vs.next_file_number = 1
+        vs.last_sequence = 0
+        vs.manifest = fs.open("MANIFEST")
+        vs.current = Version(options.num_levels)
+        vs.current.refs += 1
+        vs._files = {}
+        for _nbytes, edit in list(vs.manifest.records):
+            for _level, meta in edit.added:
+                meta.refs = 0
+                meta.being_compacted = False
+            vs.apply(edit)
+        for meta in vs.current.all_files():
+            vs.next_file_number = max(vs.next_file_number, meta.number + 1)
+            vs.last_sequence = max(vs.last_sequence, max(e[0] for e in meta.sst.entries))
+        return vs
+
+    # -- numbering ---------------------------------------------------------------
+
+    def new_file_number(self) -> int:
+        num = self.next_file_number
+        self.next_file_number += 1
+        return num
+
+    # -- version lifetime -----------------------------------------------------------
+
+    def ref_current(self) -> Version:
+        """Take a read reference on the current version."""
+        v = self.current
+        v.refs += 1
+        return v
+
+    def unref(self, version: Version) -> None:
+        if version.refs <= 0:
+            raise DBError("version unref below zero")
+        if version is self.current and version.refs <= 1:
+            raise DBError("unref would drop the VersionSet's own reference")
+        version.refs -= 1
+        if version.refs == 0 and version is not self.current:
+            self._release_files(version)
+
+    def _release_files(self, version: Version) -> None:
+        for meta in version.all_files():
+            meta.refs -= 1
+            if meta.refs == 0:
+                self._reclaim(meta)
+
+    def _reclaim(self, meta: FileMetadata) -> None:
+        del self._files[meta.number]
+        if self.fs.exists(meta.file.path):
+            self.fs.delete(meta.file.path)
+        if self._on_file_dead is not None:
+            self._on_file_dead(meta)
+        self.stats.inc("files_reclaimed")
+
+    # -- edits -------------------------------------------------------------------------
+
+    def apply(self, edit: VersionEdit) -> Version:
+        """Install ``edit`` on top of the current version.
+
+        Returns the new current version.  The caller separately charges the
+        manifest append I/O via :meth:`log_edit`.
+        """
+        old = self.current
+        new = Version(self.options.num_levels)
+        deleted = set(edit.deleted)
+        for level, files in enumerate(old.levels):
+            for meta in files:
+                if (level, meta.number) not in deleted:
+                    new.levels[level].append(meta)
+        for level, meta in edit.added:
+            meta.level = level
+            if meta.number in self._files and self._files[meta.number] is not meta:
+                raise DBError(f"duplicate file number {meta.number}")
+            self._files[meta.number] = meta
+            if level == 0:
+                # L0 is ordered newest-first: fresh flushes go to the front.
+                new.levels[0].insert(0, meta)
+            else:
+                new.levels[level].append(meta)
+        new._finalize()
+        new.check_invariants()
+
+        for meta in new.all_files():
+            meta.refs += 1
+        new.refs += 1  # the VersionSet's own reference
+        self.current = new
+        old.refs -= 1
+        if old.refs == 0:
+            self._release_files_diff(old, new)
+        self.stats.inc("edits_applied")
+        return new
+
+    def _release_files_diff(self, old: Version, new: Version) -> None:
+        # Files in old keep one ref from new if still present; just unref all.
+        self._release_files(old)
+
+    def log_edit(self, edit: VersionEdit):
+        """Generator: append + fsync the manifest record for ``edit``.
+
+        The edit object rides along as the record payload so recovery can
+        replay the exact durable sequence of edits.
+        """
+        ev = self.manifest.append(edit.encoded_bytes(), record=edit)
+        if ev is not None:
+            yield ev
+        yield from self.manifest.sync()
+
+    # -- derived state -----------------------------------------------------------------
+
+    def compaction_score(self, level: int) -> float:
+        v = self.current
+        if level == 0:
+            return len(v.levels[0]) / self.options.level0_file_num_compaction_trigger
+        target = self.options.max_bytes_for_level(level)
+        return v.level_bytes(level) / target if target else 0.0
+
+    def pending_compaction_bytes(self) -> int:
+        """Bytes above target across levels (RocksDB's debt estimate)."""
+        debt = 0
+        v = self.current
+        for level in range(1, self.options.num_levels - 1):
+            excess = v.level_bytes(level) - self.options.max_bytes_for_level(level)
+            if excess > 0:
+                debt += excess
+        trigger = self.options.level0_file_num_compaction_trigger
+        extra_l0 = len(v.levels[0]) - trigger
+        if extra_l0 > 0:
+            debt += sum(f.file_bytes for f in v.levels[0][:extra_l0])
+        return debt

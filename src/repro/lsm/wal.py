@@ -1,0 +1,167 @@
+"""Write-ahead log.
+
+Every write group appends one log record covering the whole batch group
+(RocksDB's group commit).  Three modes model the configurations the paper
+measures:
+
+* ``buffered`` (default, db_bench's setting): ``write()`` into the page
+  cache; the OS writes back asynchronously every ``wal_bytes_per_sync``
+  bytes, and appends block only when the device falls behind the dirty
+  limit — this is how the WAL still costs 30+ us of p90 latency even though
+  no fsync is issued (Finding #4);
+* ``sync``: fsync after every group;
+* ``off``: Figure 17's WAL-disabled configuration.
+
+The WAL filesystem may live on a different device than the data files —
+that is exactly case study C (NVM logging): pass an NVM-backed filesystem.
+
+One log file exists per memtable; when a memtable flushes, its log becomes
+obsolete and is deleted.  Records carry the real (key, entry) payloads so
+recovery replays actual data (only records below the durable watermark
+survive a simulated crash).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import DBError
+from repro.fs.filesystem import SimFile, SimFileSystem
+from repro.lsm.costs import CostModel
+from repro.lsm.format import Entry, wal_record_bytes
+from repro.lsm.options import WAL_OFF, WAL_SYNC, Options
+from repro.sim.engine import Engine, Event
+
+
+class WalManager:
+    """Owns the numbered log files of one DB instance."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        fs: SimFileSystem,
+        options: Options,
+        costs: CostModel,
+        dirname: str = "wal",
+        first_number: Optional[int] = None,
+    ) -> None:
+        self.engine = engine
+        self.fs = fs
+        self.options = options
+        self.costs = costs
+        self.dirname = dirname
+        self.current: Optional[SimFile] = None
+        self.current_number = 0
+        self._live: List[Tuple[int, SimFile]] = []  # (number, file), oldest first
+        self.bytes_written = 0
+        if options.wal_mode != WAL_OFF:
+            # Adopt pre-existing (pre-crash) logs: they stay live until the
+            # memtable holding their replayed records is flushed.
+            existing = sorted(
+                (int(p.rsplit("/", 1)[-1].split(".")[0]), p)
+                for p in fs.list(prefix=f"{dirname}/")
+            )
+            for number, path in existing:
+                self._live.append((number, fs.open(path)))
+                self.current_number = number
+            if first_number is None:
+                first_number = self.current_number + 1
+            self.roll(first_number)
+
+    @property
+    def enabled(self) -> bool:
+        return self.options.wal_mode != WAL_OFF
+
+    def _path(self, number: int) -> str:
+        return f"{self.dirname}/{number:06d}.log"
+
+    def roll(self, number: int) -> None:
+        """Start a new log file (called at every memtable switch)."""
+        if not self.enabled:
+            return
+        number = max(number, self.current_number + 1)
+        f = self.fs.create(
+            self._path(number),
+            writeback_bytes=self.options.wal_bytes_per_sync,
+            dirty_limit_bytes=2 * self.options.wal_bytes_per_sync,
+        )
+        self.current = f
+        self.current_number = number
+        self._live.append((number, f))
+
+    def add_group(
+        self, records: List[Tuple[bytes, Entry]]
+    ) -> Tuple[int, Optional[Event]]:
+        """Append one group-commit record; returns (cpu_ns, wait_event).
+
+        ``cpu_ns`` is the serialization cost the leader must charge.  The
+        event — when not None — must be yielded before the write is
+        acknowledged: in ``sync`` mode it is durability, in ``buffered``
+        mode it only appears under writeback backpressure.
+        """
+        if not self.enabled:
+            return 0, None
+        if self.current is None:
+            raise DBError("WAL enabled but no live log file")
+        nbytes = sum(
+            wal_record_bytes(key, entry, self.options.wal_record_overhead)
+            for key, entry in records
+        )
+        cpu = self.costs.wal_serialize(nbytes)
+        if self.options.wal_compression:
+            # Section VI: compress the log to trade CPU for I/O traffic.
+            cpu += (nbytes * self.costs.wal_compress_per_byte_ps) // 1000
+            nbytes = max(1, int(nbytes * self.options.wal_compression_ratio))
+        self.bytes_written += nbytes
+        # Filesystem write-path cost: a write() into a file on a block
+        # device does journal/block-layer work that scales with the backing
+        # device; on byte-addressable NVM (tmpfs) that path is a bare
+        # memcpy.  This is the per-write gap case study C removes.
+        cpu += self.fs.device.profile.seq_write_base_ns // 2
+        backpressure = self.current.append(nbytes, record=list(records))
+        if self.options.wal_mode == WAL_SYNC:
+            return cpu, self._sync_event()
+        return cpu, backpressure
+
+    def _sync_event(self) -> Event:
+        ev = self.engine.event()
+        done = self.engine.process(self._sync_proc(ev), name="wal-sync")
+        del done
+        return ev
+
+    def _sync_proc(self, ev: Event):
+        yield from self.current.sync()
+        ev.succeed()
+
+    def sync(self):
+        """Generator: explicit fsync of the current log."""
+        if self.enabled and self.current is not None:
+            yield from self.current.sync()
+
+    def release_up_to(self, number: int) -> None:
+        """Delete logs whose memtables are durably flushed (<= number)."""
+        kept: List[Tuple[int, SimFile]] = []
+        for num, f in self._live:
+            if num <= number and f is not self.current:
+                self.fs.delete(f.path)
+            else:
+                kept.append((num, f))
+        self._live = kept
+
+    # -- recovery ----------------------------------------------------------------
+
+    def live_logs(self) -> List[Tuple[int, SimFile]]:
+        return list(self._live)
+
+    @staticmethod
+    def replay(fs: SimFileSystem, dirname: str = "wal") -> Iterator[Tuple[bytes, Entry]]:
+        """Yield every durable (key, entry) from the on-disk logs, in order.
+
+        Used after :meth:`SimFileSystem.crash` — only records under each
+        file's synced watermark remain.
+        """
+        for path in fs.list(prefix=f"{dirname}/"):
+            f = fs.open(path)
+            for _nbytes, group in f.records:
+                for key, entry in group:
+                    yield key, entry

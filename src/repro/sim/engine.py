@@ -1,0 +1,374 @@
+"""Discrete-event simulation kernel.
+
+The kernel is a classic event-heap simulator in the style of SimPy, rebuilt
+from scratch and tuned for the access patterns of this project (millions of
+short-lived key-value operations per run).
+
+Concepts
+--------
+
+``Engine``
+    Owns the virtual clock and the event heap.  ``Engine.run()`` drives the
+    simulation until the heap drains or a deadline is reached.
+
+``Process``
+    A generator wrapped as a simulated thread of control.  Inside a process
+    generator you may ``yield``:
+
+    * an ``int``/``float`` — sleep for that many nanoseconds;
+    * an :class:`Event` — suspend until the event fires (the ``yield``
+      expression evaluates to the event's value, or raises its failure);
+    * another :class:`Process` — suspend until that process finishes
+      (evaluates to its return value; re-raises its unhandled error).
+
+``Event``
+    A one-shot occurrence that processes can wait on.  ``succeed(value)``
+    and ``fail(exc)`` fire it.  Composite helpers :class:`AllOf` and
+    :class:`AnyOf` combine events.
+
+Determinism
+-----------
+Two events scheduled for the same timestamp fire in scheduling order (a
+monotonically increasing sequence number breaks ties), so a run with a fixed
+seed replays identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+ProcessGen = Generator[Any, Any, Any]
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that simulated processes can wait on."""
+
+    __slots__ = ("engine", "_value", "_exc", "triggered", "_waiters", "callbacks")
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self._value: Any = _PENDING
+        self._exc: Optional[BaseException] = None
+        self.triggered = False
+        # Processes blocked on this event, resumed in FIFO order.
+        self._waiters: list["Process"] = []
+        # Plain callables invoked on trigger: callback(event).
+        self.callbacks: list[Callable[["Event"], None]] = []
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self.triggered and self._exc is None
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exc
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event successfully, waking all waiters."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self.triggered = True
+        self._value = value
+        self._fire()
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Fire the event as a failure; waiters see ``exc`` raised."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"fail() requires an exception, got {exc!r}")
+        self.triggered = True
+        self._exc = exc
+        self._fire()
+        return self
+
+    def _fire(self) -> None:
+        engine = self.engine
+        for proc in self._waiters:
+            engine._schedule(proc, self._value, self._exc, 0)
+        self._waiters.clear()
+        for cb in self.callbacks:
+            cb(self)
+        self.callbacks.clear()
+
+    def _add_waiter(self, proc: "Process") -> None:
+        self._waiters.append(proc)
+
+
+class Timeout(Event):
+    """An event that fires automatically after a delay.
+
+    Prefer ``yield <int>`` inside processes (it avoids allocating an event);
+    ``Timeout`` exists for composing with :class:`AnyOf` (e.g. waits with a
+    deadline).
+    """
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", delay: int, value: Any = None) -> None:
+        super().__init__(engine)
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        engine._schedule_event(self, value, int(delay))
+
+
+class AllOf(Event):
+    """Fires once every child event has succeeded.
+
+    Its value is the list of child values in construction order.  If any
+    child fails, ``AllOf`` fails with the first failure.
+    """
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]) -> None:
+        super().__init__(engine)
+        self._children = list(events)
+        self._remaining = 0
+        for ev in self._children:
+            if ev.triggered:
+                if ev._exc is not None and not self.triggered:
+                    self.fail(ev._exc)
+                continue
+            self._remaining += 1
+            ev.callbacks.append(self._on_child)
+        if not self.triggered and self._remaining == 0:
+            self.succeed([ev._value for ev in self._children])
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev._exc is not None:
+            self.fail(ev._exc)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([child._value for child in self._children])
+
+
+class AnyOf(Event):
+    """Fires as soon as any child event triggers; value is ``(event, value)``."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]) -> None:
+        super().__init__(engine)
+        self._children = list(events)
+        if not self._children:
+            raise SimulationError("AnyOf needs at least one event")
+        for ev in self._children:
+            if ev.triggered:
+                if ev._exc is not None:
+                    self.fail(ev._exc)
+                else:
+                    self.succeed((ev, ev._value))
+                return
+        for ev in self._children:
+            ev.callbacks.append(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev._exc is not None:
+            self.fail(ev._exc)
+        else:
+            self.succeed((ev, ev._value))
+
+
+class Process(Event):
+    """A simulated thread of control wrapping a generator.
+
+    A ``Process`` is itself an :class:`Event` that triggers when the
+    generator returns (value = the generator's return value) or raises
+    (failure).  ``yield some_process`` therefore joins it.
+    """
+
+    __slots__ = ("gen", "name")
+
+    def __init__(self, engine: "Engine", gen: ProcessGen, name: str = "") -> None:
+        super().__init__(engine)
+        if not hasattr(gen, "send"):
+            raise SimulationError(f"Process requires a generator, got {type(gen).__name__}")
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        engine._schedule(self, None, None, 0)
+
+    @property
+    def done(self) -> bool:
+        return self.triggered
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.triggered else "active"
+        return f"<Process {self.name} {state}>"
+
+    # -- kernel internals ---------------------------------------------------
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        """Advance the generator until it blocks again."""
+        gen = self.gen
+        engine = self.engine
+        while True:
+            try:
+                if exc is not None:
+                    pending_exc, exc = exc, None
+                    target = gen.throw(pending_exc)
+                else:
+                    target = gen.send(value)
+            except StopIteration as stop:
+                self.triggered = True
+                self._value = stop.value
+                self._fire()
+                return
+            except BaseException as err:  # noqa: BLE001 - process crashed
+                self.triggered = True
+                self._exc = err
+                if not self._waiters and not self.callbacks:
+                    # Nobody is joining this process: surface the crash.
+                    engine._crashed.append(self)
+                self._fire()
+                return
+
+            cls = target.__class__
+            if cls is int or cls is float:
+                if target < 0:
+                    exc = SimulationError(f"negative sleep: {target}")
+                    continue
+                if target == 0:
+                    value = engine.now
+                    continue
+                engine._schedule(self, None, None, int(target))
+                return
+            if isinstance(target, Event):
+                if target.triggered:
+                    if target._exc is not None:
+                        exc = target._exc
+                        continue
+                    value = target._value
+                    continue
+                target._add_waiter(self)
+                return
+            exc = SimulationError(
+                f"process {self.name!r} yielded unsupported value {target!r}"
+            )
+
+
+class Engine:
+    """The simulation event loop and virtual clock."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._heap: list[tuple[int, int, Any, Any, Optional[BaseException]]] = []
+        self._seq = 0
+        self._running = False
+        self._crashed: list[Process] = []
+
+    # -- clock ----------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self._now
+
+    # -- public API -------------------------------------------------------
+
+    def process(self, gen: ProcessGen, name: str = "") -> Process:
+        """Register a generator as a new simulated process."""
+        return Process(self, gen, name)
+
+    def event(self) -> Event:
+        """Create an untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` nanoseconds from now."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until the heap drains or the clock reaches ``until``.
+
+        Returns the clock value at exit.  Unhandled exceptions in processes
+        that nothing joined are re-raised here (errors never pass silently).
+        """
+        if self._running:
+            raise SimulationError("Engine.run() is not reentrant")
+        self._running = True
+        heap = self._heap
+        try:
+            while heap:
+                when = heap[0][0]
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                _, _, target, value, exc = heapq.heappop(heap)
+                self._now = when
+                if target.__class__ is Process or isinstance(target, Process):
+                    target._step(value, exc)
+                else:  # a plain Event scheduled via _schedule_event
+                    if not target.triggered:
+                        if exc is not None:
+                            target.fail(exc)
+                        else:
+                            target.succeed(value)
+                if self._crashed:
+                    crashed = self._crashed[0]
+                    raise SimulationError(
+                        f"process {crashed.name!r} crashed"
+                    ) from crashed._exc
+            else:
+                if until is not None and self._now < until:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def peek(self) -> Optional[int]:
+        """Timestamp of the next scheduled occurrence, or None if idle."""
+        return self._heap[0][0] if self._heap else None
+
+    def clear_pending(self) -> int:
+        """Drop every scheduled occurrence (simulated power loss).
+
+        Suspended processes are never resumed — exactly what happens to
+        in-flight work when the machine dies.  Returns the number of
+        cancelled occurrences.
+        """
+        if self._running:
+            raise SimulationError("clear_pending() during run() is not supported")
+        dropped = len(self._heap)
+        self._heap.clear()
+        return dropped
+
+    # -- kernel internals ---------------------------------------------------
+
+    def _schedule(
+        self,
+        proc: Process,
+        value: Any,
+        exc: Optional[BaseException],
+        delay: int,
+    ) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, proc, value, exc))
+
+    def _schedule_event(self, event: Event, value: Any, delay: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event, value, None))

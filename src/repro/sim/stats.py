@@ -1,0 +1,232 @@
+"""Measurement utilities: latency histograms, throughput time series, gauges.
+
+The paper reports median / 90th-percentile tail latencies, per-second
+throughput timelines (Figs. 4, 5, 18) and the time-averaged number of waiting
+writer threads (Fig. 16).  The classes here collect exactly those statistics
+with bounded memory, no matter how many operations a run executes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.units import SEC
+
+_SUBBUCKETS = 32  # per power of two; worst-case relative error ~3%
+
+
+class LatencyHistogram:
+    """HDR-style logarithmic histogram of non-negative integer samples.
+
+    Buckets grow exponentially with :data:`_SUBBUCKETS` linear sub-buckets
+    per octave, giving a bounded relative error at any magnitude while using
+    O(log(max)) memory.  Percentile queries interpolate inside the bucket.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    @staticmethod
+    def _index(value: int) -> int:
+        if value < _SUBBUCKETS:
+            return value
+        shift = value.bit_length() - 6  # lands value >> shift in [32, 64)
+        if shift < 0:
+            shift = 0
+        return (shift + 1) * _SUBBUCKETS + ((value >> shift) - _SUBBUCKETS)
+
+    @staticmethod
+    def _bucket_bounds(index: int) -> Tuple[int, int]:
+        """Inclusive low / exclusive high value range of a bucket."""
+        if index < _SUBBUCKETS:
+            return index, index + 1
+        octave, sub = divmod(index, _SUBBUCKETS)
+        shift = octave - 1
+        low = (_SUBBUCKETS + sub) << shift
+        return low, low + (1 << shift)
+
+    def record(self, value: int, n: int = 1) -> None:
+        """Record ``n`` occurrences of ``value`` (nanoseconds, typically)."""
+        if value < 0:
+            raise SimulationError(f"negative sample: {value}")
+        idx = self._index(value)
+        self._buckets[idx] = self._buckets.get(idx, 0) + n
+        self.count += n
+        self.total += value * n
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Value at percentile ``p`` in [0, 100] (linear interpolation)."""
+        if not 0.0 <= p <= 100.0:
+            raise SimulationError(f"percentile out of range: {p}")
+        if self.count == 0:
+            return 0.0
+        target = p / 100.0 * self.count
+        seen = 0
+        for idx in sorted(self._buckets):
+            n = self._buckets[idx]
+            if seen + n >= target:
+                low, high = self._bucket_bounds(idx)
+                frac = (target - seen) / n
+                value = low + frac * (high - low)
+                # Clamp to the observed extremes for tighter tails.
+                if self.max is not None:
+                    value = min(value, float(self.max))
+                if self.min is not None:
+                    value = max(value, float(self.min))
+                return value
+            seen += n
+        return float(self.max if self.max is not None else 0)
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram's samples into this one."""
+        for idx, n in other._buckets.items():
+            self._buckets[idx] = self._buckets.get(idx, 0) + n
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
+    def summary(self) -> Dict[str, float]:
+        """Count/mean/median/p90/p99/max in one dict (times in ns)."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+            "max": float(self.max or 0),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LatencyHistogram {self.name} n={self.count} mean={self.mean:.0f}ns>"
+
+
+class TimeSeries:
+    """Per-bucket event counter over virtual time (throughput timelines)."""
+
+    def __init__(self, bucket_ns: int = SEC, name: str = "") -> None:
+        if bucket_ns <= 0:
+            raise SimulationError(f"bucket width must be positive: {bucket_ns}")
+        self.bucket_ns = bucket_ns
+        self.name = name
+        self._buckets: Dict[int, int] = {}
+        self.count = 0
+
+    def record(self, now: int, n: int = 1) -> None:
+        idx = now // self.bucket_ns
+        self._buckets[idx] = self._buckets.get(idx, 0) + n
+        self.count += n
+
+    def series(self, start: int = 0, end: Optional[int] = None) -> List[Tuple[float, float]]:
+        """Return ``(bucket_start_seconds, events_per_second)`` pairs.
+
+        Buckets with zero events inside [start, end) are included so
+        near-stop periods are visible in timelines.
+        """
+        if not self._buckets and end is None:
+            return []
+        last = max(self._buckets) if self._buckets else 0
+        end_idx = (end // self.bucket_ns) if end is not None else last + 1
+        start_idx = start // self.bucket_ns
+        per_sec = SEC / self.bucket_ns
+        return [
+            (idx * self.bucket_ns / SEC, self._buckets.get(idx, 0) * per_sec)
+            for idx in range(start_idx, max(end_idx, start_idx))
+        ]
+
+    def rate_between(self, start: int, end: int) -> float:
+        """Average events/second over the half-open interval [start, end)."""
+        if end <= start:
+            return 0.0
+        total = sum(
+            n for idx, n in self._buckets.items()
+            if start <= idx * self.bucket_ns < end
+        )
+        return total * SEC / (end - start)
+
+
+class TimeWeightedGauge:
+    """Time-weighted average of a stepwise value (e.g. queue length)."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._value = 0.0
+        self._last_t: Optional[int] = None
+        self._area = 0.0
+        self._start: Optional[int] = None
+        self.max_value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def update(self, now: int, value: float) -> None:
+        """Record that the gauge changed to ``value`` at time ``now``."""
+        if self._last_t is None:
+            self._start = now
+        else:
+            if now < self._last_t:
+                raise SimulationError("gauge updated with a past timestamp")
+            self._area += self._value * (now - self._last_t)
+        self._last_t = now
+        self._value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def mean(self, now: Optional[int] = None) -> float:
+        """Time-weighted mean from first update to ``now`` (or last update)."""
+        if self._last_t is None or self._start is None:
+            return 0.0
+        end = self._last_t if now is None else max(now, self._last_t)
+        elapsed = end - self._start
+        if elapsed <= 0:
+            return self._value
+        area = self._area + self._value * (end - self._last_t)
+        return area / elapsed
+
+
+class StatsSet:
+    """A named bag of counters and histograms (RocksDB 'Statistics' analog)."""
+
+    def __init__(self) -> None:
+        self._tickers: Dict[str, int] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {}
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self._tickers[name] = self._tickers.get(name, 0) + n
+
+    def get(self, name: str) -> int:
+        return self._tickers.get(name, 0)
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = LatencyHistogram(name)
+            self._histograms[name] = hist
+        return hist
+
+    def tickers(self) -> Dict[str, int]:
+        return dict(self._tickers)
+
+    def histogram_names(self) -> Iterable[str]:
+        return self._histograms.keys()
+
+    def reset(self) -> None:
+        self._tickers.clear()
+        self._histograms.clear()

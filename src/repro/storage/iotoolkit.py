@@ -1,0 +1,129 @@
+"""Raw-device microbenchmark (Intel Open Storage Toolkit stand-in).
+
+The paper's Figure 1 uses the Intel Open Storage Toolkit to issue 4 KB random
+requests with 8 threads and a 1:1 read/write ratio against the first 10 GB of
+each device.  :class:`RawBenchmark` reproduces that: a set of closed-loop
+client processes issuing direct I/O against a :class:`StorageDevice`, with a
+small per-request host-side submission overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import WorkloadError
+from repro.sim.engine import Engine
+from repro.sim.rng import RandomStream
+from repro.sim.stats import LatencyHistogram
+from repro.sim.units import GB, KB, SEC, seconds, us
+from repro.storage.device import StorageDevice
+from repro.storage.profiles import DeviceProfile
+
+
+@dataclass(frozen=True)
+class RawWorkloadConfig:
+    """Parameters of a raw-device run (defaults = the paper's Figure 1)."""
+
+    threads: int = 8
+    request_bytes: int = 4 * KB
+    read_fraction: float = 0.5
+    span_bytes: int = 10 * GB
+    duration_ns: int = seconds(1.0)
+    submit_overhead_ns: int = us(5)
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise WorkloadError(f"threads must be >= 1: {self.threads}")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise WorkloadError(f"read_fraction out of [0,1]: {self.read_fraction}")
+        if self.request_bytes <= 0:
+            raise WorkloadError(f"request_bytes must be positive: {self.request_bytes}")
+
+
+@dataclass
+class RawResult:
+    """Outcome of a raw-device benchmark run."""
+
+    device: str
+    ops: int = 0
+    reads: int = 0
+    writes: int = 0
+    duration_ns: int = 0
+    read_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    write_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    @property
+    def kops(self) -> float:
+        """Total throughput in thousands of operations per second."""
+        if self.duration_ns <= 0:
+            return 0.0
+        return self.ops * SEC / self.duration_ns / 1e3
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "device": self.device,
+            "kops": round(self.kops, 1),
+            "read_p90_us": round(self.read_latency.percentile(90) / 1e3, 1),
+            "write_p90_us": round(self.write_latency.percentile(90) / 1e3, 1),
+        }
+
+
+class RawBenchmark:
+    """Closed-loop raw I/O load generator against one device."""
+
+    def __init__(self, config: Optional[RawWorkloadConfig] = None) -> None:
+        self.config = config or RawWorkloadConfig()
+
+    def run_profile(self, profile: DeviceProfile) -> RawResult:
+        """Create a fresh engine + device for ``profile`` and benchmark it."""
+        engine = Engine()
+        rng = RandomStream(self.config.seed, f"iotoolkit/{profile.name}")
+        device = StorageDevice(engine, profile, rng)
+        return self.run(engine, device)
+
+    def run(self, engine: Engine, device: StorageDevice) -> RawResult:
+        """Run the configured workload on an existing device."""
+        cfg = self.config
+        span = min(cfg.span_bytes, device.profile.capacity_bytes)
+        max_slot = span // cfg.request_bytes
+        if max_slot < 1:
+            raise WorkloadError("span smaller than one request")
+        result = RawResult(device=device.profile.name)
+        end_time = engine.now + cfg.duration_ns
+
+        for tid in range(cfg.threads):
+            stream = RandomStream(cfg.seed, f"iotoolkit/client{tid}")
+            engine.process(
+                self._client(engine, device, stream, max_slot, end_time, result),
+                name=f"raw-client-{tid}",
+            )
+        engine.run(until=end_time)
+        result.duration_ns = cfg.duration_ns
+        return result
+
+    def _client(
+        self,
+        engine: Engine,
+        device: StorageDevice,
+        stream: RandomStream,
+        max_slot: int,
+        end_time: int,
+        result: RawResult,
+    ):
+        cfg = self.config
+        while engine.now < end_time:
+            if cfg.submit_overhead_ns:
+                yield cfg.submit_overhead_ns
+            offset = stream.randint(0, max_slot - 1) * cfg.request_bytes
+            start = engine.now
+            if stream.chance(cfg.read_fraction):
+                yield device.read(offset, cfg.request_bytes)
+                result.reads += 1
+                result.read_latency.record(engine.now - start)
+            else:
+                yield device.write(offset, cfg.request_bytes)
+                result.writes += 1
+                result.write_latency.record(engine.now - start)
+            result.ops += 1

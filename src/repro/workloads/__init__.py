@@ -1,0 +1,46 @@
+"""Workload generation: db_bench analog, YCSB suite, generators, prefill."""
+
+from repro.workloads.db_bench import BenchResult, DbBench, DbBenchConfig
+from repro.workloads.generators import (
+    KEY_WIDTH,
+    OP_READ,
+    OP_WRITE,
+    BurstSchedule,
+    KeySpace,
+    OperationMix,
+    ValueSpec,
+    decode_key,
+    encode_key,
+)
+from repro.workloads.prefill import PrefillSpec, prefill
+from repro.workloads.ycsb import (
+    CORE_WORKLOADS,
+    LatestGenerator,
+    YcsbResult,
+    YcsbRunner,
+    YcsbSpec,
+    ZipfianGenerator,
+)
+
+__all__ = [
+    "BenchResult",
+    "CORE_WORKLOADS",
+    "LatestGenerator",
+    "YcsbResult",
+    "YcsbRunner",
+    "YcsbSpec",
+    "ZipfianGenerator",
+    "BurstSchedule",
+    "DbBench",
+    "DbBenchConfig",
+    "KEY_WIDTH",
+    "KeySpace",
+    "OP_READ",
+    "OP_WRITE",
+    "OperationMix",
+    "PrefillSpec",
+    "ValueSpec",
+    "decode_key",
+    "encode_key",
+    "prefill",
+]

@@ -1,0 +1,150 @@
+"""Database pre-population (db_bench's ``--use_existing_db`` fixture).
+
+The paper benchmarks against an existing ~100 GB database.  Simulating the
+initial fill op-by-op would dwarf the measured run, so the prefiller builds
+the steady-state LSM shape directly: keys are deterministically distributed
+across levels (L1 .. Lk filled to their byte targets, the remainder in the
+deepest level), cut into target-size SST files, and installed through real
+version edits on durably "synced" files.  The page cache starts cold, as
+after a reboot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+from repro.lsm.db import DB
+from repro.lsm.sst import SSTBuilder
+from repro.lsm.version import FileMetadata, VersionEdit
+from repro.workloads.generators import KeySpace, ValueSpec, encode_key
+
+_HASH = 2654435761  # Knuth multiplicative hash
+
+
+@dataclass(frozen=True)
+class PrefillSpec:
+    """What the pre-existing database should look like."""
+
+    key_count: int
+    value_size: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.key_count <= 0:
+            raise WorkloadError(f"key_count must be positive: {self.key_count}")
+        if self.value_size <= 0:
+            raise WorkloadError(f"value_size must be positive: {self.value_size}")
+
+    @property
+    def entry_bytes(self) -> int:
+        return 16 + self.value_size + 8  # key + value + header
+
+    @property
+    def total_bytes(self) -> int:
+        return self.key_count * self.entry_bytes
+
+    def keyspace(self) -> KeySpace:
+        return KeySpace(self.key_count)
+
+    def value_spec(self) -> ValueSpec:
+        return ValueSpec(self.value_size)
+
+
+_FILL_FACTOR = 0.9  # fill shallow levels to 90% of target: steady state,
+# not already past the compaction trigger
+
+
+def _level_budgets(db: DB, total_bytes: int) -> Dict[int, int]:
+    """Bytes per level: L1..L(k-1) near target, deepest level takes the rest."""
+    opts = db.options
+    budgets: Dict[int, int] = {}
+    remaining = total_bytes
+    for level in range(1, opts.num_levels):
+        if level == opts.num_levels - 1:
+            budgets[level] = remaining
+            remaining = 0
+            break
+        cap = int(opts.max_bytes_for_level(level) * _FILL_FACTOR)
+        if remaining <= cap:
+            budgets[level] = remaining
+            remaining = 0
+            break
+        budgets[level] = cap
+        remaining -= cap
+    return {lvl: b for lvl, b in budgets.items() if b > 0}
+
+
+def prefill(db: DB, spec: PrefillSpec) -> Dict[int, int]:
+    """Populate ``db`` with ``spec.key_count`` keys; returns files-per-level.
+
+    Deterministic: each key index hashes to a level with probability
+    proportional to the level's byte budget, so every level's files span the
+    whole key space (the real read-amplification shape: a GET walks through
+    every level above the key's home level before finding it).
+    """
+    if db.versions.current.num_files() != 0:
+        raise WorkloadError("prefill requires an empty database")
+    budgets = _level_budgets(db, spec.total_bytes)
+    if not budgets:
+        raise WorkloadError("no level budget computed")
+    levels = sorted(budgets)
+    total = sum(budgets.values())
+    # Cumulative probability thresholds scaled to 2^32.
+    thresholds: List[int] = []
+    acc = 0
+    for level in levels:
+        acc += budgets[level]
+        thresholds.append(int(acc / total * (1 << 32)))
+
+    values = spec.value_spec()
+    per_level_keys: Dict[int, List[int]] = {level: [] for level in levels}
+    for i in range(spec.key_count):
+        h = (i * _HASH) & 0xFFFFFFFF
+        for level, bound in zip(levels, thresholds):
+            if h < bound:
+                per_level_keys[level].append(i)
+                break
+        else:
+            per_level_keys[levels[-1]].append(i)
+
+    edit = VersionEdit()
+    files_per_level: Dict[int, int] = {}
+    seq = db.versions.last_sequence
+    for level in levels:
+        key_indices = per_level_keys[level]
+        if not key_indices:
+            continue
+        target = db.options.target_file_size(level)
+        builder: SSTBuilder | None = None
+        count = 0
+
+        def finish(builder: SSTBuilder) -> None:
+            sst = builder.finish()
+            f = db.fs.install_synced(f"sst/{sst.number:06d}.sst", sst.file_bytes)
+            f.payload = sst
+            edit.add_file(level, FileMetadata(sst.number, sst, f, level))
+
+        for i in key_indices:
+            if builder is None:
+                builder = SSTBuilder(
+                    db.versions.new_file_number(),
+                    db.options.block_size,
+                    db.options.bloom_bits_per_key,
+                )
+            seq += 1
+            builder.add(encode_key(i), (seq, 1, values.value_for(i)))
+            if builder.estimated_bytes >= target:
+                finish(builder)
+                builder = None
+                count += 1
+        if builder is not None and not builder.empty():
+            finish(builder)
+            count += 1
+        files_per_level[level] = count
+
+    db.versions.last_sequence = seq
+    db.versions.apply(edit)
+    db.versions.current.check_invariants()
+    db.stats.inc("prefill.keys", spec.key_count)
+    return files_per_level

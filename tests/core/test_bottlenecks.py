@@ -1,0 +1,92 @@
+"""Tests for the bottleneck analyzers."""
+
+import pytest
+
+from repro.core.bottlenecks import (
+    NearStopPeriod,
+    near_stop_fraction,
+    near_stop_periods,
+    read_amplification,
+    stall_summary,
+    throughput_variation,
+    write_amplification,
+)
+from tests.conftest import make_db, run_op
+
+
+def series(rates):
+    return [(float(t), float(r)) for t, r in enumerate(rates)]
+
+
+class TestNearStop:
+    def test_detects_one_valley(self):
+        s = series([50_000, 40_000, 5_000, 3_000, 45_000])
+        periods = near_stop_periods(s)
+        assert len(periods) == 1
+        assert periods[0].start_s == 2.0
+        assert periods[0].end_s == 4.0
+        assert periods[0].duration_s == 2.0
+
+    def test_detects_trailing_valley(self):
+        s = series([50_000, 5_000])
+        periods = near_stop_periods(s)
+        assert len(periods) == 1
+        assert periods[0].end_s == 2.0
+
+    def test_no_valleys(self):
+        assert near_stop_periods(series([50_000, 60_000])) == []
+
+    def test_custom_threshold(self):
+        s = series([15_000, 15_000])
+        assert near_stop_periods(s, threshold_ops=10_000) == []
+        assert len(near_stop_periods(s, threshold_ops=20_000)) == 1
+
+    def test_fraction(self):
+        s = series([50_000, 5_000, 5_000, 50_000])
+        assert near_stop_fraction(s) == pytest.approx(0.5)
+        assert near_stop_fraction([]) == 0.0
+
+
+class TestVariation:
+    def test_stats(self):
+        stats = throughput_variation(series([10, 20, 30]))
+        assert stats["min"] == 10
+        assert stats["max"] == 30
+        assert stats["mean"] == pytest.approx(20)
+        assert stats["cov"] > 0
+
+    def test_constant_series_zero_cov(self):
+        assert throughput_variation(series([5, 5, 5]))["cov"] == 0.0
+
+    def test_empty(self):
+        assert throughput_variation([])["mean"] == 0.0
+
+
+class TestDbDerivedMetrics:
+    def test_read_amplification_zero_without_gets(self, engine):
+        db = make_db(engine)
+        assert read_amplification(db) == 0.0
+
+    def test_read_amplification_counts_device_reads(self, engine):
+        db = make_db(engine)
+        db.stats.inc("gets", 10)
+        db.stats.inc("get.block_device_reads", 15)
+        assert read_amplification(db) == pytest.approx(1.5)
+
+    def test_stall_summary_keys(self, engine):
+        db = make_db(engine)
+        summary = stall_summary(db)
+        assert set(summary) == {
+            "delayed_writes",
+            "delay_seconds",
+            "stop_waits",
+            "slowdown_transitions",
+            "stop_transitions",
+        }
+
+    def test_write_amplification(self, engine):
+        db = make_db(engine)
+        assert write_amplification(db) == 0.0
+        db.stats.inc("flush.bytes", 100)
+        db.stats.inc("compaction.bytes_written", 300)
+        assert write_amplification(db) == pytest.approx(4.0)

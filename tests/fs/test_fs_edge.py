@@ -1,0 +1,135 @@
+"""Additional filesystem edge cases: interplay of sync, crash, reuse."""
+
+import pytest
+
+from repro.errors import FileSystemError
+from repro.fs.filesystem import EXTENT_BYTES
+from repro.sim.units import KB, MB
+from repro.storage.profiles import sata_flash_ssd, xpoint_ssd
+from tests.conftest import make_fs, run_op
+
+
+def drive(engine, gen):
+    return run_op(engine, gen)
+
+
+def test_sync_empty_file_is_cheap(engine):
+    fs = make_fs(engine, profile=xpoint_ssd())
+    f = fs.create("empty")
+
+    def proc():
+        yield from f.sync()
+
+    t0 = engine.now
+    drive(engine, proc())
+    assert engine.now == t0  # nothing to write
+
+
+def test_double_sync_second_is_instant(engine):
+    fs = make_fs(engine, profile=xpoint_ssd())
+    f = fs.create("f")
+    f.append(64 * KB)
+
+    def proc():
+        yield from f.sync()
+        t_mid = engine.now
+        yield from f.sync()
+        return t_mid
+
+    t_mid = drive(engine, proc())
+    assert engine.now == t_mid
+
+
+def test_interleaved_append_sync(engine):
+    fs = make_fs(engine, profile=xpoint_ssd())
+    f = fs.create("f")
+
+    def proc():
+        for _ in range(5):
+            f.append(16 * KB)
+            yield from f.sync()
+
+    drive(engine, proc())
+    assert f.synced_size == f.size == 80 * KB
+
+
+def test_read_spanning_extents_device_counts(engine):
+    fs = make_fs(engine, profile=xpoint_ssd())
+    f = fs.install_synced("big", 2 * EXTENT_BYTES)
+    ev = f.read(EXTENT_BYTES - 2 * KB, 4 * KB)  # straddles the boundary
+    assert ev is not None
+
+    def proc():
+        yield ev
+
+    drive(engine, proc())
+    assert fs.device.reads == 2  # one per physical extent run
+
+
+def test_sequential_flag_passes_through(engine):
+    flat = sata_flash_ssd().with_overrides(jitter_sigma=0.0)
+
+    def timed(sequential):
+        fs = make_fs(engine, profile=flat)
+        g = fs.install_synced("x", MB)
+        start = engine.now
+        ev = g.read(0, 256 * KB, sequential=sequential)
+
+        def proc():
+            yield ev
+
+        drive(engine, proc())
+        return engine.now - start
+
+    assert timed(True) < timed(False)
+
+
+def test_crash_then_reuse_paths(engine):
+    fs = make_fs(engine, profile=xpoint_ssd())
+    f = fs.create("wal/1.log")
+    f.append(4 * KB, record="r")
+    fs.crash()
+    # The file still exists (metadata is durable in this model); deleting
+    # and recreating the path must work.
+    fs.delete("wal/1.log")
+    g = fs.create("wal/1.log")
+    assert g.size == 0
+
+
+def test_writeback_stall_event_resolves(engine):
+    """A backpressured append's event eventually fires."""
+    fs = make_fs(engine, profile=sata_flash_ssd())
+    f = fs.create("hot", writeback_bytes=64 * KB, dirty_limit_bytes=128 * KB)
+
+    def proc():
+        waited = 0
+        for _ in range(32):
+            ev = f.append(64 * KB)
+            if ev is not None:
+                before = engine.now
+                yield ev
+                waited += engine.now - before
+        return waited
+
+    waited = drive(engine, proc())
+    assert waited > 0  # backpressure actually slowed the writer
+
+
+def test_zero_capacity_page_cache_still_works(engine):
+    from repro.fs.page_cache import PageCache
+    from repro.fs.filesystem import SimFileSystem
+    from repro.sim.rng import RandomStream
+    from repro.storage.device import StorageDevice
+
+    device = StorageDevice(engine, xpoint_ssd(), RandomStream(1))
+    fs = SimFileSystem(engine, device, PageCache(0))
+    f = fs.install_synced("uncached", MB)
+    ev = f.read(0, 4 * KB)
+    assert ev is not None  # nothing is ever cached
+
+    def proc():
+        yield ev
+
+    drive(engine, proc())
+    ev2 = f.read(0, 4 * KB)
+    assert ev2 is not None  # still a miss

@@ -1,0 +1,145 @@
+"""Tests for the OS page cache model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FileSystemError
+from repro.fs.page_cache import PAGE_SIZE, PageCache
+
+
+def test_miss_then_hit():
+    cache = PageCache(64 * PAGE_SIZE)
+    holes = cache.access(1, 0, PAGE_SIZE)
+    assert holes == [(0, PAGE_SIZE)]
+    cache.fill(1, 0, PAGE_SIZE)
+    assert cache.access(1, 0, PAGE_SIZE) == []
+    assert cache.stats.get("page_hits") == 1
+    assert cache.stats.get("page_misses") == 1
+
+
+def test_partial_miss_coalesced():
+    cache = PageCache(64 * PAGE_SIZE)
+    cache.fill(1, PAGE_SIZE, PAGE_SIZE)  # page 1 resident
+    holes = cache.access(1, 0, 3 * PAGE_SIZE)  # pages 0,1,2
+    assert holes == [(0, PAGE_SIZE), (2 * PAGE_SIZE, PAGE_SIZE)]
+
+
+def test_adjacent_misses_merge_into_one_hole():
+    cache = PageCache(64 * PAGE_SIZE)
+    holes = cache.access(1, 0, 4 * PAGE_SIZE)
+    assert holes == [(0, 4 * PAGE_SIZE)]
+
+
+def test_unaligned_range_covers_both_pages():
+    cache = PageCache(64 * PAGE_SIZE)
+    holes = cache.access(1, PAGE_SIZE - 10, 20)  # straddles pages 0 and 1
+    assert holes == [(0, 2 * PAGE_SIZE)]
+
+
+def test_files_do_not_collide():
+    cache = PageCache(64 * PAGE_SIZE)
+    cache.fill(1, 0, PAGE_SIZE)
+    assert cache.access(2, 0, PAGE_SIZE) != []
+
+
+def test_lru_eviction_order():
+    cache = PageCache(2 * PAGE_SIZE)
+    cache.fill(1, 0, PAGE_SIZE)  # page A
+    cache.fill(1, PAGE_SIZE, PAGE_SIZE)  # page B
+    cache.access(1, 0, PAGE_SIZE)  # touch A: B is now LRU
+    cache.fill(1, 2 * PAGE_SIZE, PAGE_SIZE)  # page C evicts B
+    assert cache.contains(1, 0, PAGE_SIZE)  # A stays
+    assert not cache.contains(1, PAGE_SIZE, PAGE_SIZE)  # B evicted
+    assert cache.stats.get("pages_evicted") == 1
+
+
+def test_capacity_enforced():
+    cache = PageCache(8 * PAGE_SIZE)
+    cache.fill(1, 0, 32 * PAGE_SIZE)
+    assert len(cache) == 8
+    assert cache.resident_bytes == 8 * PAGE_SIZE
+
+
+def test_invalidate_file_drops_only_that_file():
+    cache = PageCache(64 * PAGE_SIZE)
+    cache.fill(1, 0, 4 * PAGE_SIZE)
+    cache.fill(2, 0, 4 * PAGE_SIZE)
+    cache.invalidate_file(1)
+    assert not cache.contains(1, 0, PAGE_SIZE)
+    assert cache.contains(2, 0, PAGE_SIZE)
+    assert len(cache) == 4
+
+
+def test_zero_and_negative_access_rejected():
+    cache = PageCache(4 * PAGE_SIZE)
+    with pytest.raises(FileSystemError):
+        cache.access(1, 0, 0)
+
+
+def test_fill_zero_is_noop():
+    cache = PageCache(4 * PAGE_SIZE)
+    cache.fill(1, 0, 0)
+    assert len(cache) == 0
+
+
+def test_hit_rate():
+    cache = PageCache(64 * PAGE_SIZE)
+    cache.access(1, 0, PAGE_SIZE)
+    cache.fill(1, 0, PAGE_SIZE)
+    cache.access(1, 0, PAGE_SIZE)
+    assert cache.hit_rate() == pytest.approx(0.5)
+
+
+def test_custom_page_size():
+    cache = PageCache(4 * 16384, page_size=16384)
+    holes = cache.access(1, 0, 16384)
+    assert holes == [(0, 16384)]
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1),  # 0=access, 1=fill
+            st.integers(min_value=0, max_value=3),  # file id
+            st.integers(min_value=0, max_value=63),  # page index
+        ),
+        max_size=200,
+    )
+)
+def test_matches_reference_lru_model(ops):
+    """The cache agrees with a straightforward reference implementation."""
+    capacity = 8
+    cache = PageCache(capacity * PAGE_SIZE)
+    reference: list = []  # LRU order, most recent last
+
+    def ref_touch(key):
+        if key in reference:
+            reference.remove(key)
+            reference.append(key)
+            return True
+        return False
+
+    def ref_fill(key):
+        if key in reference:
+            reference.remove(key)
+        reference.append(key)
+        while len(reference) > capacity:
+            reference.pop(0)
+
+    for kind, file_id, page in ops:
+        key = (file_id, page)
+        offset = page * PAGE_SIZE
+        if kind == 0:
+            expected_hit = ref_touch(key)
+            holes = cache.access(file_id, offset, PAGE_SIZE)
+            assert (holes == []) == expected_hit
+            if not expected_hit:
+                cache.fill(file_id, offset, PAGE_SIZE)
+                ref_fill(key)
+        else:
+            cache.fill(file_id, offset, PAGE_SIZE)
+            ref_fill(key)
+    assert len(cache) == len(reference)
+    for file_id, page in reference:
+        assert cache.contains(file_id, page * PAGE_SIZE, PAGE_SIZE)

@@ -1,0 +1,99 @@
+"""Smoke tests for the experiment harness at tiny scale.
+
+These validate experiment structure and bookkeeping, not the paper shapes —
+shape assertions (which need more simulated time) live in
+``tests/integration/test_paper_shapes.py`` and in the benchmark suite.
+"""
+
+import pytest
+
+from repro.harness import experiments as exp
+from repro.harness.presets import TINY
+from repro.sim.units import seconds
+
+
+@pytest.fixture(autouse=True)
+def fast_runs(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SECONDS", "0.4")
+    exp.clear_memo()
+    yield
+    exp.clear_memo()
+
+
+def test_registry_covers_every_figure():
+    expected = {
+        "fig01", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08",
+        "fig09", "fig10", "fig12", "fig13", "fig14", "fig15", "fig16",
+        "fig17", "fig18", "fig19", "fig20", "model1",
+    }
+    assert set(exp.EXPERIMENTS) == expected
+
+
+def test_run_workload_artifacts():
+    run = exp.run_workload("xpoint", TINY, write_fraction=0.5, seed=3,
+                           duration_ns=seconds(0.3))
+    assert run.result.ops > 0
+    assert run.db.stats.get("gets") > 0
+    assert run.machine.engine.now >= seconds(0.3)
+
+
+def test_model1_table():
+    res = exp.model_throttle(TINY)
+    assert res.exp_id == "model1"
+    assert len(res.rows) == 2
+    assert res.rows[0]["lambda_a_kops"] == pytest.approx(2.74, abs=0.01)
+
+
+def test_fig06_and_fig07_share_runs():
+    exp.fig06_read_latency_90w(TINY, seed=3)
+    memo_size = len(exp._memo)
+    exp.fig07_write_latency_90w(TINY, seed=3)
+    assert len(exp._memo) == memo_size  # reused, no new runs
+
+
+def test_fig06_rows_per_device():
+    res = exp.fig06_read_latency_90w(TINY, seed=3)
+    assert sorted(res.column("device")) == ["pcie-flash", "sata-flash", "xpoint"]
+    assert all(row["p90_us"] >= row["p50_us"] for row in res.rows)
+
+
+def test_fig17_has_on_off_rows():
+    res = exp.fig17_wal(TINY, seed=3)
+    assert len(res.rows) == 6  # 3 devices x {on, off}
+    for device in ("sata-flash", "pcie-flash", "xpoint"):
+        res.row_for(device=device, wal="on")
+        res.row_for(device=device, wal="off")
+
+
+def test_fig20_three_configs():
+    res = exp.fig20_nvm_wal(TINY, seed=3)
+    assert res.column("config") == ["wal-ssd", "wal-nvm", "wal-off"]
+    assert all(row["write_p90_us"] > 0 for row in res.rows)
+
+
+def test_fig04_series_and_stats():
+    res = exp.fig04_timeline_5w(TINY, seed=3)
+    assert set(res.series) == {"sata-flash", "pcie-flash", "xpoint"}
+    for row in res.rows:
+        assert row["max_kops"] >= row["mean_kops"] >= 0
+
+
+def test_fig08_structure():
+    res = exp.fig08_l0_count_vs_size(TINY, seed=3)
+    assert len(res.rows) == 12  # 3 devices x 4 sizes
+    sizes = sorted({row["file_size_mb"] for row in res.rows})
+    assert len(sizes) == 4
+
+
+def test_fig19_gain_column():
+    res = exp.fig19_dynamic_l0(TINY, seed=3)
+    assert len(res.rows) == len(exp.FIG19_READ_RATIOS)
+    for row in res.rows:
+        assert row["default_kops"] > 0
+        assert row["dynamic_kops"] > 0
+
+
+def test_render_does_not_crash():
+    res = exp.model_throttle(TINY)
+    text = res.render()
+    assert "model1" in text

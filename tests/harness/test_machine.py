@@ -1,0 +1,46 @@
+"""Tests for machine assembly."""
+
+import pytest
+
+from repro.harness.machine import Machine
+from repro.sim.units import mb
+from repro.storage.profiles import sata_flash_ssd, xpoint_ssd
+from tests.conftest import run_op, tiny_options
+
+
+def test_create_wires_components():
+    machine = Machine.create(xpoint_ssd(), page_cache_bytes=mb(8), seed=3)
+    assert machine.device.profile.name == "xpoint"
+    assert machine.fs.device is machine.device
+    assert machine.page_cache.capacity_pages == mb(8) // 4096
+    assert machine.nvm_fs is None
+
+
+def test_nvm_attachment():
+    machine = Machine.create(xpoint_ssd(), page_cache_bytes=mb(8), with_nvm=True)
+    assert machine.nvm_fs is not None
+    assert machine.nvm_fs.device.profile.kind == "nvm"
+    assert machine.nvm_fs.device is not machine.device
+
+
+def test_open_db_runs_ops():
+    machine = Machine.create(sata_flash_ssd(), page_cache_bytes=mb(4))
+    db = machine.open_db(tiny_options())
+    run_op(machine.engine, db.put(b"k", b"v"))
+    assert run_op(machine.engine, db.get(b"k")) == b"v"
+
+
+def test_custom_controller_injected():
+    from repro.core.two_stage_throttle import TwoStageWriteController
+
+    machine = Machine.create(xpoint_ssd(), page_cache_bytes=mb(4))
+    opts = tiny_options()
+    controller = TwoStageWriteController(machine.engine, opts)
+    db = machine.open_db(opts, controller=controller)
+    assert db.controller is controller
+
+
+def test_seed_isolation():
+    a = Machine.create(xpoint_ssd(), page_cache_bytes=mb(4), seed=1)
+    b = Machine.create(xpoint_ssd(), page_cache_bytes=mb(4), seed=2)
+    assert a.rng.fork("x").random() != b.rng.fork("x").random()

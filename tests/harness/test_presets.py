@@ -1,0 +1,74 @@
+"""Tests for scaling presets."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.harness.presets import (
+    PAPER,
+    PRESETS,
+    SMALL,
+    TINY,
+    bench_preset,
+    preset_by_name,
+)
+
+
+def test_registry():
+    assert set(PRESETS) == {"tiny", "small", "paper"}
+    assert preset_by_name("small") is SMALL
+    with pytest.raises(WorkloadError):
+        preset_by_name("huge")
+
+
+def test_paper_preset_matches_paper_parameters():
+    """The full-scale reference preset records Section III verbatim."""
+    from repro.sim.units import gb, mb, seconds
+
+    assert PAPER.value_size == 1024
+    assert PAPER.duration_ns == seconds(300)
+    assert PAPER.processes == 4
+    assert PAPER.write_buffer_size == mb(64)
+    assert PAPER.max_bytes_for_level_base == mb(256)
+    assert PAPER.page_cache_bytes == gb(8)
+
+
+def test_cache_ratio_preserved_across_presets():
+    """Page cache stays ~8% of the dataset at every scale."""
+    for preset in (SMALL, PAPER):
+        ratio = preset.page_cache_bytes / preset.dataset_bytes
+        assert 0.05 < ratio < 0.13, preset.name
+
+
+def test_memtable_to_l1_ratio_preserved():
+    """RocksDB's 64MB:256MB = 1:4 memtable:L1 shape at every scale."""
+    for preset in (TINY, SMALL, PAPER):
+        ratio = preset.max_bytes_for_level_base / preset.write_buffer_size
+        assert ratio == pytest.approx(4.0), preset.name
+
+
+def test_options_generated_from_preset():
+    opts = SMALL.options()
+    opts.validate()
+    assert opts.write_buffer_size == SMALL.write_buffer_size
+    assert opts.block_cache_bytes == SMALL.block_cache_bytes
+    # RocksDB trigger defaults untouched by scaling.
+    assert opts.level0_slowdown_writes_trigger == 20
+    assert opts.level0_stop_writes_trigger == 36
+
+
+def test_options_overrides():
+    opts = TINY.options(wal_mode="off")
+    assert opts.wal_mode == "off"
+
+
+def test_prefill_spec():
+    spec = SMALL.prefill_spec()
+    assert spec.key_count == SMALL.key_count
+    assert spec.value_size == SMALL.value_size
+
+
+def test_bench_preset_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_PRESET", "tiny")
+    assert bench_preset() is TINY
+    monkeypatch.delenv("REPRO_PRESET")
+    assert bench_preset() is SMALL

@@ -1,0 +1,74 @@
+"""Tests for experiment result containers and table rendering."""
+
+import pytest
+
+from repro.harness.report import (
+    ExperimentResult,
+    format_table,
+    render_sparkline,
+)
+
+
+def make_result():
+    res = ExperimentResult(
+        exp_id="figX",
+        title="Example",
+        columns=["device", "kops"],
+        paper_expectation="something",
+    )
+    res.add_row(device="sata", kops=12.3)
+    res.add_row(device="xpoint", kops=99.9)
+    return res
+
+
+def test_add_and_column():
+    res = make_result()
+    assert res.column("device") == ["sata", "xpoint"]
+    assert res.column("kops") == [12.3, 99.9]
+
+
+def test_row_for():
+    res = make_result()
+    assert res.row_for(device="xpoint")["kops"] == 99.9
+    with pytest.raises(KeyError):
+        res.row_for(device="optane")
+
+
+def test_table_str_contains_data():
+    text = make_result().table_str()
+    assert "figX" in text
+    assert "device" in text and "kops" in text
+    assert "xpoint" in text and "99.9" in text
+
+
+def test_render_includes_expectation_and_series():
+    res = make_result()
+    res.series["xpoint"] = [(0.0, 1000.0), (1.0, 0.0)]
+    out = res.render()
+    assert "paper expectation: something" in out
+    assert "xpoint: [" in out
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "b"], [{"a": 1, "b": 2.5}, {"a": 100, "b": 0.123}])
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, rule, two rows
+    assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+
+def test_format_table_empty_rows():
+    text = format_table(["x"], [])
+    assert "x" in text
+
+
+def test_sparkline_shapes():
+    flat = render_sparkline("flat", [(0, 50.0), (1, 50.0)])
+    assert flat.count("@") == 2
+    dip = render_sparkline("dip", [(0, 100.0), (1, 0.0), (2, 100.0)])
+    assert "@ @" in dip or "@.@" in dip.replace(" ", ".")
+    assert render_sparkline("empty", []) == "empty: (empty)"
+
+
+def test_fmt_variants():
+    text = format_table(["v"], [{"v": 0.0}, {"v": 1234.5}, {"v": 0.001}, {"v": "s"}])
+    assert "0" in text and "1234" in text and "0.001" in text and "s" in text

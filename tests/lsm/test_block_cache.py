@@ -1,0 +1,79 @@
+"""Tests for the LRU block cache."""
+
+import pytest
+
+from repro.errors import DBError
+from repro.lsm.block_cache import BlockCache
+
+
+def test_miss_then_hit():
+    cache = BlockCache(1024)
+    assert not cache.lookup((1, 0))
+    cache.insert((1, 0), 100)
+    assert cache.lookup((1, 0))
+    assert cache.stats.get("hits") == 1
+    assert cache.stats.get("misses") == 1
+
+
+def test_byte_budget_eviction():
+    cache = BlockCache(300)
+    cache.insert((1, 0), 100)
+    cache.insert((1, 1), 100)
+    cache.insert((1, 2), 100)
+    cache.insert((1, 3), 100)  # evicts (1,0)
+    assert not cache.lookup((1, 0))
+    assert cache.lookup((1, 3))
+    assert cache.used_bytes <= 300
+
+
+def test_lookup_promotes():
+    cache = BlockCache(200)
+    cache.insert((1, 0), 100)
+    cache.insert((1, 1), 100)
+    cache.lookup((1, 0))  # promote: (1,1) becomes LRU
+    cache.insert((1, 2), 100)
+    assert cache.lookup((1, 0))
+    assert not cache.lookup((1, 1))
+
+
+def test_reinsert_updates_charge():
+    cache = BlockCache(1000)
+    cache.insert((1, 0), 100)
+    cache.insert((1, 0), 300)
+    assert cache.used_bytes == 300
+    assert len(cache) == 1
+
+
+def test_oversized_block_rejected_silently():
+    cache = BlockCache(100)
+    cache.insert((1, 0), 500)
+    assert len(cache) == 0
+    assert cache.stats.get("rejected") == 1
+
+
+def test_erase_file():
+    cache = BlockCache(1000)
+    cache.insert((1, 0), 100)
+    cache.insert((1, 1), 100)
+    cache.insert((2, 0), 100)
+    cache.erase_file(1)
+    assert not cache.lookup((1, 0))
+    assert cache.lookup((2, 0))
+    assert cache.used_bytes == 100
+
+
+def test_invalid_inputs():
+    with pytest.raises(DBError):
+        BlockCache(-1)
+    cache = BlockCache(100)
+    with pytest.raises(DBError):
+        cache.insert((1, 0), 0)
+
+
+def test_hit_rate():
+    cache = BlockCache(1000)
+    cache.insert((1, 0), 10)
+    cache.lookup((1, 0))
+    cache.lookup((9, 9))
+    assert cache.hit_rate() == pytest.approx(0.5)
+    assert BlockCache(10).hit_rate() == 0.0

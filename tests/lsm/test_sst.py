@@ -1,0 +1,171 @@
+"""Tests for SSTables: build, block layout, lookup, iteration."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DBError
+from repro.lsm.format import KIND_DELETE, KIND_PUT, entry_file_bytes
+from repro.lsm.sst import SSTBuilder, SSTable
+from repro.lsm.value import ValueRef
+
+
+def build(n=100, value_size=100, block_size=1024, bloom=0, start=0, stride=1):
+    b = SSTBuilder(1, block_size, bloom)
+    for i in range(start, start + n * stride, stride):
+        b.add(b"%08d" % i, (i + 1, KIND_PUT, ValueRef(i, value_size)))
+    return b.finish()
+
+
+class TestBuilder:
+    def test_requires_sorted_keys(self):
+        b = SSTBuilder(1, 1024, 0)
+        b.add(b"b", (1, KIND_PUT, b"x"))
+        with pytest.raises(DBError):
+            b.add(b"a", (2, KIND_PUT, b"x"))
+        with pytest.raises(DBError):
+            b.add(b"b", (3, KIND_PUT, b"x"))  # duplicates rejected too
+
+    def test_empty_finish_raises(self):
+        with pytest.raises(DBError):
+            SSTBuilder(1, 1024, 0).finish()
+
+    def test_estimated_bytes_tracks_entries(self):
+        b = SSTBuilder(1, 1024, 0)
+        b.add(b"k1", (1, KIND_PUT, ValueRef(0, 100)))
+        assert b.estimated_bytes == entry_file_bytes(b"k1", (1, KIND_PUT, ValueRef(0, 100)))
+
+    def test_entry_count(self):
+        b = SSTBuilder(1, 1024, 0)
+        assert b.empty()
+        b.add(b"k", (1, KIND_PUT, b"v"))
+        assert b.entry_count == 1
+        assert not b.empty()
+
+
+class TestTable:
+    def test_metadata(self):
+        sst = build(50)
+        assert sst.entry_count == 50
+        assert sst.smallest == b"%08d" % 0
+        assert sst.largest == b"%08d" % 49
+        assert sst.block_count >= 5  # 108B entries, 1KB blocks
+        assert sst.file_bytes > sst.data_bytes
+
+    def test_find_present_and_absent(self):
+        sst = build(50, stride=2)
+        assert sst.find(b"%08d" % 4) is not None
+        assert sst.find(b"%08d" % 5) is None  # gap between keys
+        assert sst.find(b"%08d" % 998) is None
+
+    def test_key_in_range(self):
+        sst = build(10, start=100)
+        assert sst.key_in_range(b"%08d" % 100)
+        assert sst.key_in_range(b"%08d" % 105)
+        assert not sst.key_in_range(b"%08d" % 99)
+        assert not sst.key_in_range(b"%08d" % 110)
+
+    def test_overlaps(self):
+        sst = build(10, start=100)
+        lo, hi = sst.smallest, sst.largest
+        assert sst.overlaps(lo, hi)
+        assert sst.overlaps(b"%08d" % 0, b"%08d" % 100)
+        assert not sst.overlaps(b"%08d" % 0, b"%08d" % 99)
+        assert sst.overlaps(b"%08d" % 109, b"%08d" % 999)
+        assert not sst.overlaps(b"%08d" % 110, b"%08d" % 999)
+
+    def test_block_spans_cover_data_exactly(self):
+        sst = build(100)
+        total = 0
+        prev_end = 0
+        for idx in range(sst.block_count):
+            offset, nbytes = sst.block_span(idx)
+            assert offset == prev_end
+            prev_end = offset + nbytes
+            total += nbytes
+        assert total == sst.data_bytes
+
+    def test_block_span_out_of_range(self):
+        sst = build(10)
+        with pytest.raises(DBError):
+            sst.block_span(sst.block_count)
+
+    def test_block_for_key_finds_containing_block(self):
+        sst = build(100)
+        for i in (0, 17, 50, 99):
+            key = b"%08d" % i
+            block = sst.block_for_key(key)
+            first = sst._block_first[block]
+            last = (
+                sst._block_first[block + 1] - 1
+                if block + 1 < sst.block_count
+                else sst.entry_count - 1
+            )
+            assert sst.keys[first] <= key <= sst.keys[last]
+
+    def test_blocks_respect_block_size(self):
+        sst = build(100, value_size=100, block_size=1024)
+        for idx in range(sst.block_count):
+            _, nbytes = sst.block_span(idx)
+            assert nbytes <= 1024
+
+    def test_items_iteration(self):
+        sst = build(10)
+        items = list(sst.items())
+        assert len(items) == 10
+        assert items[0][0] == sst.smallest
+
+    def test_items_from(self):
+        sst = build(10, stride=10)
+        tail = list(sst.items_from(b"%08d" % 45))
+        assert [k for k, _ in tail] == [b"%08d" % i for i in range(50, 100, 10)]
+
+    def test_bloom_wired_in(self):
+        sst = build(100, bloom=10)
+        assert sst.bloom is not None
+        assert all(sst.may_contain(k) for k in sst.keys)
+        assert sst.may_contain(b"definitely-absent") in (True, False)
+
+    def test_no_bloom_always_maybe(self):
+        sst = build(10)
+        assert sst.may_contain(b"whatever")
+
+    def test_tombstones_supported(self):
+        b = SSTBuilder(1, 1024, 0)
+        b.add(b"dead", (5, KIND_DELETE, None))
+        sst = b.finish()
+        assert sst.find(b"dead") == (5, KIND_DELETE, None)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(DBError):
+            SSTable(1, [b"a"], [], 1024)
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(DBError):
+            SSTable(1, [], [], 1024)
+
+
+@given(
+    indices=st.sets(st.integers(min_value=0, max_value=5000), min_size=1, max_size=300),
+    block_size=st.sampled_from([256, 1024, 4096]),
+)
+def test_lookup_agrees_with_dict(indices, block_size):
+    """Property: find() over any key set equals a dict lookup."""
+    ordered = sorted(indices)
+    b = SSTBuilder(1, block_size, 0)
+    model = {}
+    for i in ordered:
+        key = b"%08d" % i
+        entry = (i + 1, KIND_PUT, ValueRef(i, 50))
+        b.add(key, entry)
+        model[key] = entry
+    sst = b.finish()
+    for i in range(0, 5001, 37):
+        key = b"%08d" % i
+        assert sst.find(key) == model.get(key)
+    # Block mapping must locate the correct block for every present key.
+    for key in model:
+        block = sst.block_for_key(key)
+        offset, nbytes = sst.block_span(block)
+        assert 0 <= offset < sst.data_bytes
+        assert nbytes > 0

@@ -1,0 +1,215 @@
+"""Tests for latency histograms, time series, and gauges."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.stats import (
+    LatencyHistogram,
+    StatsSet,
+    TimeSeries,
+    TimeWeightedGauge,
+)
+from repro.sim.units import SEC
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        hist = LatencyHistogram()
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.percentile(50) == 0.0
+
+    def test_single_value(self):
+        hist = LatencyHistogram()
+        hist.record(1000)
+        assert hist.count == 1
+        assert hist.min == hist.max == 1000
+        assert hist.percentile(50) == pytest.approx(1000, rel=0.05)
+
+    def test_small_values_exact(self):
+        hist = LatencyHistogram()
+        for v in range(32):
+            hist.record(v)
+        assert hist.min == 0
+        assert hist.max == 31
+        assert hist.mean == pytest.approx(15.5)
+
+    def test_negative_raises(self):
+        hist = LatencyHistogram()
+        with pytest.raises(SimulationError):
+            hist.record(-1)
+
+    def test_percentile_bounds_check(self):
+        hist = LatencyHistogram()
+        hist.record(5)
+        with pytest.raises(SimulationError):
+            hist.percentile(101)
+        with pytest.raises(SimulationError):
+            hist.percentile(-1)
+
+    def test_weighted_record(self):
+        hist = LatencyHistogram()
+        hist.record(100, n=10)
+        assert hist.count == 10
+        assert hist.total == 1000
+
+    @given(
+        samples=st.lists(
+            st.integers(min_value=0, max_value=10_000_000), min_size=10, max_size=500
+        )
+    )
+    def test_percentiles_within_relative_error(self, samples):
+        """Bucketed percentiles stay within ~4% of exact ones."""
+        hist = LatencyHistogram()
+        for s in samples:
+            hist.record(s)
+        for p in (50, 90, 99):
+            exact = float(np.percentile(samples, p, method="inverted_cdf"))
+            approx = hist.percentile(p)
+            assert approx <= hist.max
+            assert approx >= hist.min
+            if exact > 0:
+                assert approx == pytest.approx(exact, rel=0.05, abs=2)
+
+    @given(
+        a=st.lists(st.integers(min_value=0, max_value=100_000), min_size=1, max_size=100),
+        b=st.lists(st.integers(min_value=0, max_value=100_000), min_size=1, max_size=100),
+    )
+    def test_merge_equals_union(self, a, b):
+        ha, hb, hu = LatencyHistogram(), LatencyHistogram(), LatencyHistogram()
+        for s in a:
+            ha.record(s)
+            hu.record(s)
+        for s in b:
+            hb.record(s)
+            hu.record(s)
+        ha.merge(hb)
+        assert ha.count == hu.count
+        assert ha.total == hu.total
+        assert ha.min == hu.min
+        assert ha.max == hu.max
+        assert ha.percentile(90) == pytest.approx(hu.percentile(90))
+
+    def test_summary_keys(self):
+        hist = LatencyHistogram()
+        hist.record(10)
+        summary = hist.summary()
+        assert set(summary) == {"count", "mean", "p50", "p90", "p99", "max"}
+
+    def test_mean_exact(self):
+        hist = LatencyHistogram()
+        for v in (10, 20, 30):
+            hist.record(v)
+        assert hist.mean == pytest.approx(20.0)
+
+
+class TestTimeSeries:
+    def test_bucket_rates(self):
+        ts = TimeSeries(bucket_ns=SEC)
+        for i in range(5):
+            ts.record(0, n=1)
+        for i in range(3):
+            ts.record(SEC + 1, n=1)
+        series = ts.series(0, 2 * SEC)
+        assert series == [(0.0, 5.0), (1.0, 3.0)]
+
+    def test_zero_buckets_included(self):
+        ts = TimeSeries(bucket_ns=SEC)
+        ts.record(0)
+        ts.record(3 * SEC)
+        series = ts.series(0, 4 * SEC)
+        assert [rate for _, rate in series] == [1.0, 0.0, 0.0, 1.0]
+
+    def test_sub_second_buckets_scale_to_per_second(self):
+        ts = TimeSeries(bucket_ns=SEC // 10)
+        ts.record(0, n=5)
+        series = ts.series(0, SEC // 10)
+        assert series[0][1] == 50.0  # 5 events in 100 ms = 50/s
+
+    def test_rate_between(self):
+        ts = TimeSeries(bucket_ns=SEC)
+        ts.record(0, n=10)
+        ts.record(SEC, n=20)
+        assert ts.rate_between(0, 2 * SEC) == pytest.approx(15.0)
+        assert ts.rate_between(SEC, SEC) == 0.0
+
+    def test_invalid_bucket(self):
+        with pytest.raises(SimulationError):
+            TimeSeries(bucket_ns=0)
+
+    def test_empty_series(self):
+        ts = TimeSeries()
+        assert ts.series() == []
+
+
+class TestTimeWeightedGauge:
+    def test_mean_of_step_function(self):
+        g = TimeWeightedGauge()
+        g.update(0, 10.0)
+        g.update(100, 0.0)
+        # 10 for [0,100), then 0 for [100,200)
+        assert g.mean(200) == pytest.approx(5.0)
+
+    def test_mean_with_no_updates(self):
+        assert TimeWeightedGauge().mean(100) == 0.0
+
+    def test_max_value_tracked(self):
+        g = TimeWeightedGauge()
+        g.update(0, 3.0)
+        g.update(5, 8.0)
+        g.update(10, 1.0)
+        assert g.max_value == 8.0
+
+    def test_past_timestamp_raises(self):
+        g = TimeWeightedGauge()
+        g.update(100, 1.0)
+        with pytest.raises(SimulationError):
+            g.update(50, 2.0)
+
+    @given(
+        steps=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=1000),
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_mean_bounded_by_extremes(self, steps):
+        g = TimeWeightedGauge()
+        t = 0
+        values = []
+        for dt, v in steps:
+            g.update(t, v)
+            values.append(v)
+            t += dt
+        mean = g.mean(t)
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+
+class TestStatsSet:
+    def test_counters(self):
+        s = StatsSet()
+        s.inc("x")
+        s.inc("x", 4)
+        assert s.get("x") == 5
+        assert s.get("missing") == 0
+
+    def test_histogram_registry(self):
+        s = StatsSet()
+        h = s.histogram("lat")
+        h.record(10)
+        assert s.histogram("lat").count == 1
+        assert list(s.histogram_names()) == ["lat"]
+
+    def test_reset(self):
+        s = StatsSet()
+        s.inc("a")
+        s.histogram("h").record(1)
+        s.reset()
+        assert s.get("a") == 0
+        assert s.tickers() == {}

@@ -1,0 +1,246 @@
+"""Tests for the storage device queueing model."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.sim.engine import Engine
+from repro.sim.rng import RandomStream
+from repro.sim.units import GB, KB, MB, SEC, us
+from repro.storage.device import StorageDevice
+from repro.storage.profiles import (
+    DeviceProfile,
+    null_device,
+    sata_flash_ssd,
+    xpoint_ssd,
+)
+
+
+def flat_profile(**overrides) -> DeviceProfile:
+    """A jitter-free device for exact latency assertions."""
+    base = dict(
+        name="flat",
+        kind="xpoint",
+        capacity_bytes=GB,
+        read_base_ns=us(10),
+        write_base_ns=us(20),
+        seq_read_base_ns=us(5),
+        seq_write_base_ns=us(5),
+        channel_read_bw=400 * MB,
+        channel_write_bw=400 * MB,
+        channels=2,
+        interface_read_bw=1600 * MB,
+        interface_write_bw=1600 * MB,
+        full_duplex=True,
+        jitter_sigma=0.0,
+    )
+    base.update(overrides)
+    return DeviceProfile(**base)
+
+
+def make_device(engine, profile=None):
+    return StorageDevice(engine, profile or flat_profile(), RandomStream(1))
+
+
+def wait(engine, event):
+    done = {}
+
+    def proc():
+        yield event
+        done["t"] = engine.now
+
+    engine.process(proc())
+    engine.run()
+    return done["t"]
+
+
+def test_single_read_latency_exact(engine):
+    dev = make_device(engine)
+    t = wait(engine, dev.read(0, 4 * KB))
+    # base 10us + transfer 4KB at 400MB/s = 10us
+    expected = us(10) + 4 * KB * SEC // (400 * MB)
+    assert t == expected
+
+
+def test_write_slower_than_read(engine):
+    dev = make_device(engine)
+    t_r = wait(engine, dev.read(0, 4 * KB))
+    engine2 = Engine()
+    dev2 = make_device(engine2)
+    t_w = wait(engine2, dev2.write(0, 4 * KB))
+    assert t_w > t_r
+
+
+def test_sequential_cheaper_than_random(engine):
+    dev = make_device(engine)
+    t_rand = wait(engine, dev.read(0, 4 * KB, sequential=False))
+    engine2 = Engine()
+    dev2 = make_device(engine2)
+    t_seq = wait(engine2, dev2.read(0, 4 * KB, sequential=True))
+    assert t_seq < t_rand
+
+
+def test_parallel_reads_use_channels(engine):
+    """Two reads on a 2-channel device overlap; a third queues."""
+    dev = make_device(engine)
+    events = [dev.read(0, 4 * KB) for _ in range(3)]
+    finish = []
+
+    def proc(ev):
+        yield ev
+        finish.append(engine.now)
+
+    for ev in events:
+        engine.process(proc(ev))
+    engine.run()
+    single = us(10) + 4 * KB * SEC // (400 * MB)
+    link = 4 * KB * SEC // (1600 * MB)  # per-read host-link serialization
+    assert finish[0] == single
+    assert finish[1] == single + link  # overlapped on channel 2, link-shifted
+    assert finish[2] == 2 * single  # queued behind the first on channel 1
+
+
+def test_throughput_scales_with_channels():
+    def run(channels):
+        engine = Engine()
+        dev = make_device(engine, flat_profile(channels=channels))
+        for _ in range(64):
+            dev.read(0, 4 * KB)
+        ev = dev.flush()
+        return wait(engine, ev)
+
+    assert run(4) < run(1)
+
+
+def test_out_of_range_raises(engine):
+    dev = make_device(engine)
+    with pytest.raises(StorageError):
+        dev.read(GB - 100, 4 * KB)
+    with pytest.raises(StorageError):
+        dev.write(-1, 4 * KB)
+    with pytest.raises(StorageError):
+        dev.read(0, 0)
+
+
+def test_flush_waits_for_all(engine):
+    dev = make_device(engine)
+    for _ in range(8):
+        dev.write(0, 64 * KB)
+    t = wait(engine, dev.flush())
+    assert t > 0
+    # After flushing, a new flush is immediate.
+    engine2_t = wait(engine, dev.flush())
+    assert engine2_t == t
+
+
+def test_counters(engine):
+    dev = make_device(engine)
+    dev.read(0, 4 * KB)
+    dev.write(0, 8 * KB)
+    engine.run()
+    assert dev.reads == 1
+    assert dev.writes == 1
+    assert dev.bytes_read == 4 * KB
+    assert dev.bytes_written == 8 * KB
+    snap = dev.snapshot()
+    assert snap["reads"] == 1 and snap["bytes_written"] == 8 * KB
+
+
+def test_trim_counts(engine):
+    dev = make_device(engine)
+    dev.trim(0, MB)
+    assert dev.stats.get("trim_count") == 1
+    assert dev.stats.get("bytes_trimmed") == MB
+
+
+def test_gc_pauses_on_flash(engine):
+    prof = sata_flash_ssd().with_overrides(jitter_sigma=0.0)
+    dev = StorageDevice(engine, prof, RandomStream(1))
+    # Random writes accrue 4x debt; push enough to cross the GC interval.
+    for _ in range(400):
+        dev.write(0, 64 * KB, sequential=False)
+    engine.run()
+    assert dev.gc_pauses > 0
+
+
+def test_no_gc_on_xpoint(engine):
+    dev = StorageDevice(engine, xpoint_ssd(), RandomStream(1))
+    for _ in range(500):
+        dev.write(0, 64 * KB, sequential=False)
+    engine.run()
+    assert dev.gc_pauses == 0
+
+
+def test_read_priority_over_background_writes(engine):
+    """A random read overtakes a deep queue of background writes."""
+    dev = make_device(engine, flat_profile(channels=1))
+    for _ in range(50):
+        dev.write(0, 64 * KB, sequential=True)
+    read_done = wait(engine, dev.read(0, 4 * KB))
+    write_service = us(5) + 64 * KB * SEC // (400 * MB)
+    # The read waits at most ~one in-service write, not the whole queue.
+    assert read_done < 3 * write_service
+
+
+def test_background_writes_fifo(engine):
+    dev = make_device(engine, flat_profile(channels=1))
+    first = dev.write(0, 64 * KB, sequential=True)
+    second = dev.write(64 * KB, 64 * KB, sequential=True)
+    t1 = {}
+
+    def proc(ev, key):
+        yield ev
+        t1[key] = engine.now
+
+    engine.process(proc(first, "first"))
+    engine.process(proc(second, "second"))
+    engine.run()
+    assert t1["second"] > t1["first"]
+
+
+def test_large_request_striped_across_channels(engine):
+    """A 1 MB sequential read finishes ~channels-times faster than serial."""
+    dev = make_device(engine, flat_profile(channels=8, interface_read_bw=100_000 * MB))
+    t = wait(engine, dev.read(0, MB, sequential=True))
+    serial_transfer = MB * SEC // (400 * MB)
+    assert t < serial_transfer  # parallelism helped
+
+def test_half_duplex_serializes_reads_and_writes(engine):
+    prof = flat_profile(full_duplex=False, channels=4,
+                        interface_read_bw=100 * MB, interface_write_bw=100 * MB)
+    dev = make_device(engine, prof)
+    dev.write(0, 512 * KB, sequential=True)
+    t = wait(engine, dev.read(0, 4 * KB, sequential=True))
+    # The read's transfer must wait for the 512 KB write transfer on the link.
+    write_transfer = 512 * KB * SEC // (100 * MB)
+    assert t >= write_transfer
+
+
+def test_utilization_positive_after_io(engine):
+    dev = make_device(engine)
+    dev.read(0, 64 * KB)
+    engine.run()
+    assert dev.utilization(engine.now or 1) > 0
+
+
+def test_null_device_instant(engine):
+    dev = StorageDevice(engine, null_device(), RandomStream(1))
+    t = wait(engine, dev.read(0, 4 * KB))
+    assert t == 0
+
+
+def test_determinism_same_seed():
+    def run():
+        engine = Engine()
+        dev = StorageDevice(engine, sata_flash_ssd(), RandomStream(99))
+        stamps = []
+
+        def proc():
+            for i in range(50):
+                yield dev.read((i * 7919 * 4096) % (GB), 4 * KB)
+                stamps.append(engine.now)
+
+        engine.process(proc())
+        engine.run()
+        return stamps
+
+    assert run() == run()

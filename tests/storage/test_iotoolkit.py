@@ -1,0 +1,78 @@
+"""Tests for the raw-device microbenchmark (Figure 1 substrate)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.units import KB, seconds, us
+from repro.storage.iotoolkit import RawBenchmark, RawResult, RawWorkloadConfig
+from repro.storage.profiles import pcie_flash_ssd, sata_flash_ssd, xpoint_ssd
+
+FAST_CFG = RawWorkloadConfig(
+    duration_ns=seconds(0.2), submit_overhead_ns=us(2), seed=3
+)
+
+
+def test_config_validation():
+    with pytest.raises(WorkloadError):
+        RawWorkloadConfig(threads=0)
+    with pytest.raises(WorkloadError):
+        RawWorkloadConfig(read_fraction=1.5)
+    with pytest.raises(WorkloadError):
+        RawWorkloadConfig(request_bytes=0)
+
+
+def test_result_counts_add_up():
+    result = RawBenchmark(FAST_CFG).run_profile(xpoint_ssd())
+    assert result.ops == result.reads + result.writes
+    assert result.ops > 0
+    assert result.read_latency.count == result.reads
+    assert result.write_latency.count == result.writes
+
+
+def test_mixed_ratio_roughly_half():
+    result = RawBenchmark(FAST_CFG).run_profile(xpoint_ssd())
+    frac = result.reads / result.ops
+    assert 0.4 < frac < 0.6
+
+
+def test_kops_zero_before_run():
+    assert RawResult(device="x").kops == 0.0
+
+
+def test_fig1_device_ordering():
+    """Raw throughput: XPoint >> PCIe flash > SATA flash."""
+    kops = {}
+    for prof in (sata_flash_ssd(), pcie_flash_ssd(), xpoint_ssd()):
+        kops[prof.name] = RawBenchmark(FAST_CFG).run_profile(prof).kops
+    assert kops["xpoint"] > kops["pcie-flash"] > kops["sata-flash"]
+    # Paper Figure 1: 15.7x raw speedup SATA -> XPoint; accept 10-25x.
+    assert 10 < kops["xpoint"] / kops["sata-flash"] < 25
+
+
+def test_fig1_absolute_calibration():
+    """Raw numbers land near the paper's 26 / 408 kop/s."""
+    cfg = RawWorkloadConfig(duration_ns=seconds(0.5), submit_overhead_ns=us(2), seed=3)
+    sata = RawBenchmark(cfg).run_profile(sata_flash_ssd())
+    xp = RawBenchmark(cfg).run_profile(xpoint_ssd())
+    assert sata.kops == pytest.approx(26.0, rel=0.3)
+    assert xp.kops == pytest.approx(408.0, rel=0.3)
+
+
+def test_determinism():
+    a = RawBenchmark(FAST_CFG).run_profile(xpoint_ssd())
+    b = RawBenchmark(FAST_CFG).run_profile(xpoint_ssd())
+    assert a.ops == b.ops
+    assert a.read_latency.total == b.read_latency.total
+
+
+def test_span_smaller_than_request_raises():
+    cfg = RawWorkloadConfig(span_bytes=KB, request_bytes=4 * KB, duration_ns=seconds(0.01))
+    with pytest.raises(WorkloadError):
+        RawBenchmark(cfg).run_profile(xpoint_ssd())
+
+
+def test_summary_structure():
+    result = RawBenchmark(FAST_CFG).run_profile(sata_flash_ssd())
+    summary = result.summary()
+    assert summary["device"] == "sata-flash"
+    assert summary["kops"] > 0

@@ -1,0 +1,80 @@
+"""Tests for device profiles (paper Section III's testbed)."""
+
+import pytest
+
+from repro.sim.units import GB
+from repro.storage.profiles import (
+    PROFILES,
+    DeviceProfile,
+    nvm_dimm,
+    pcie_flash_ssd,
+    profile_by_name,
+    sata_flash_ssd,
+    xpoint_ssd,
+)
+
+
+def test_profile_registry_complete():
+    assert set(PROFILES) == {"sata-flash", "pcie-flash", "xpoint", "nvm", "null"}
+
+
+def test_profile_by_name_resizes():
+    prof = profile_by_name("xpoint", capacity_bytes=10 * GB)
+    assert prof.capacity_bytes == 10 * GB
+
+
+def test_profile_by_name_unknown():
+    with pytest.raises(ValueError, match="unknown device profile"):
+        profile_by_name("floppy")
+
+
+def test_read_write_disparity_ordering():
+    """Flash write >> read; XPoint near-symmetric (paper Section II)."""
+    sata = sata_flash_ssd()
+    xp = xpoint_ssd()
+    assert sata.write_base_ns > sata.read_base_ns
+    assert xp.write_base_ns <= xp.read_base_ns * 1.5
+
+
+def test_latency_hierarchy_across_generations():
+    """SATA flash > PCIe flash > XPoint > NVM for random reads."""
+    lat = [
+        sata_flash_ssd().read_base_ns,
+        pcie_flash_ssd().read_base_ns,
+        xpoint_ssd().read_base_ns,
+        nvm_dimm().read_base_ns,
+    ]
+    assert lat == sorted(lat, reverse=True)
+    assert lat[0] > 5 * lat[2]  # SATA an order slower than XPoint
+
+
+def test_gc_only_on_flash():
+    assert sata_flash_ssd().gc_interval_bytes > 0
+    assert pcie_flash_ssd().gc_interval_bytes > 0
+    assert xpoint_ssd().gc_interval_bytes == 0
+    assert nvm_dimm().gc_interval_bytes == 0
+
+
+def test_parallelism_ordering():
+    assert sata_flash_ssd().channels < pcie_flash_ssd().channels
+
+
+def test_with_overrides_replaces_field():
+    prof = xpoint_ssd().with_overrides(channels=4)
+    assert prof.channels == 4
+    assert prof.name == "xpoint"
+
+
+def test_validation_rejects_bad_values():
+    with pytest.raises(ValueError):
+        DeviceProfile(name="x", kind="xpoint", capacity_bytes=0)
+    with pytest.raises(ValueError):
+        DeviceProfile(name="x", kind="mystery", capacity_bytes=GB)
+    with pytest.raises(ValueError):
+        DeviceProfile(name="x", kind="flash", capacity_bytes=GB, channels=0)
+
+
+def test_full_duplex_assignment():
+    assert not sata_flash_ssd().full_duplex  # SATA is half duplex
+    assert pcie_flash_ssd().full_duplex
+    assert xpoint_ssd().full_duplex

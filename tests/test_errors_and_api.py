@@ -1,0 +1,93 @@
+"""Tests for the exception hierarchy, top-level API surface, and CLI."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    CorruptionError,
+    DBClosedError,
+    DBError,
+    FileExistsInFS,
+    FileNotFoundInFS,
+    FileSystemError,
+    OptionsError,
+    OutOfSpaceError,
+    ReproError,
+    SimulationError,
+    StorageError,
+    WorkloadError,
+    WriteStallError,
+)
+
+
+def test_everything_derives_from_repro_error():
+    for exc in (
+        SimulationError,
+        StorageError,
+        FileSystemError,
+        DBError,
+        WorkloadError,
+    ):
+        assert issubclass(exc, ReproError)
+
+
+def test_fs_error_subtypes():
+    for exc in (FileNotFoundInFS, FileExistsInFS, OutOfSpaceError):
+        assert issubclass(exc, FileSystemError)
+
+
+def test_db_error_subtypes():
+    for exc in (DBClosedError, CorruptionError, WriteStallError, OptionsError):
+        assert issubclass(exc, DBError)
+
+
+def test_top_level_exports():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+    assert repro.__version__
+
+
+def test_readme_quickstart_snippet():
+    """The README's quickstart code must actually run."""
+    from repro import Machine, Options, xpoint_ssd
+    from repro.sim import mb
+
+    machine = Machine.create(xpoint_ssd(), page_cache_bytes=mb(8))
+    db = machine.open_db(Options(write_buffer_size=mb(1), memtable_rep="hash"))
+    db.run_sync(db.put(b"key", b"value"))
+    assert db.run_sync(db.get(b"key")) == b"value"
+
+
+def test_db_describe_report():
+    from repro.sim.engine import Engine
+    from tests.conftest import make_db
+
+    engine = Engine()
+    db = make_db(engine)
+    db.run_sync(db.put(b"k", b"v"))
+    text = db.describe()
+    assert "DB status" in text
+    assert "stall state: normal" in text
+    assert "puts: 1" in text
+
+
+class TestCli:
+    def test_model1(self, capsys):
+        from repro.harness.__main__ import main
+
+        assert main(["model1", "--preset", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "model1" in out and "2.7" in out
+
+    def test_unknown_experiment_rejected(self):
+        from repro.harness.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_unknown_preset_rejected(self):
+        from repro.errors import WorkloadError
+        from repro.harness.__main__ import main
+
+        with pytest.raises(WorkloadError):
+            main(["model1", "--preset", "huge"])

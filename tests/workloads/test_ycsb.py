@@ -1,0 +1,156 @@
+"""Tests for the YCSB workload suite and the Zipfian generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.sim.rng import RandomStream
+from repro.sim.units import seconds
+from repro.storage.profiles import xpoint_ssd
+from repro.workloads.prefill import PrefillSpec, prefill
+from repro.workloads.ycsb import (
+    CORE_WORKLOADS,
+    OP_INSERT,
+    OP_READ,
+    OP_RMW,
+    OP_SCAN,
+    OP_UPDATE,
+    LatestGenerator,
+    YcsbRunner,
+    YcsbSpec,
+    ZipfianGenerator,
+)
+from tests.conftest import make_db, tiny_options
+
+
+class TestZipfian:
+    def test_range_respected(self):
+        gen = ZipfianGenerator(1000)
+        rng = RandomStream(1, "z")
+        for _ in range(2000):
+            assert 0 <= gen.next(rng) < 1000
+
+    def test_skew_head_is_hot(self):
+        """With theta=0.99, the hottest ~1% of keys draw a large share."""
+        gen = ZipfianGenerator(10_000)
+        rng = RandomStream(2, "z")
+        draws = [gen.next(rng) for _ in range(5000)]
+        head = sum(1 for d in draws if d < 100)
+        assert head / len(draws) > 0.3
+
+    def test_higher_theta_more_skew(self):
+        def head_share(theta):
+            gen = ZipfianGenerator(10_000, theta)
+            rng = RandomStream(3, f"z{theta}")
+            draws = [gen.next(rng) for _ in range(4000)]
+            return sum(1 for d in draws if d < 100) / len(draws)
+
+        assert head_share(0.99) > head_share(0.5)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ZipfianGenerator(0)
+        with pytest.raises(WorkloadError):
+            ZipfianGenerator(10, theta=1.5)
+
+    @given(n=st.integers(min_value=1, max_value=50_000))
+    @settings(max_examples=20, deadline=None)
+    def test_any_range_stays_in_bounds(self, n):
+        gen = ZipfianGenerator(n)
+        rng = RandomStream(4, "zb")
+        for _ in range(50):
+            assert 0 <= gen.next(rng) < n
+
+
+class TestLatest:
+    def test_prefers_recent(self):
+        gen = LatestGenerator(10_000)
+        rng = RandomStream(5, "l")
+        draws = [gen.next(rng) for _ in range(3000)]
+        recent = sum(1 for d in draws if d >= 9_900)
+        assert recent / len(draws) > 0.3
+
+    def test_grow_extends_range(self):
+        gen = LatestGenerator(10)
+        for _ in range(100):
+            gen.grow()
+        rng = RandomStream(6, "l")
+        assert max(gen.next(rng) for _ in range(500)) > 10
+
+
+class TestSpecs:
+    def test_core_workloads_registered(self):
+        assert sorted(CORE_WORKLOADS) == ["A", "B", "C", "D", "E", "F"]
+
+    def test_mix_fractions_sum_to_one(self):
+        for spec in CORE_WORKLOADS.values():
+            total = spec.read + spec.update + spec.insert + spec.scan + spec.rmw
+            assert total == pytest.approx(1.0), spec.name
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(WorkloadError):
+            YcsbSpec("bad", read=0.5)
+        with pytest.raises(WorkloadError):
+            YcsbSpec("bad", read=1.0, distribution="gaussian")
+
+    def test_pick_op_frequencies(self):
+        spec = CORE_WORKLOADS["B"]  # 95/5
+        rng = RandomStream(7, "ops")
+        reads = sum(spec.pick_op(rng) == OP_READ for _ in range(4000))
+        assert reads / 4000 == pytest.approx(0.95, abs=0.02)
+
+    def test_pick_op_rmw(self):
+        spec = CORE_WORKLOADS["F"]
+        rng = RandomStream(8, "ops")
+        ops = {spec.pick_op(rng) for _ in range(200)}
+        assert ops == {OP_READ, OP_RMW}
+
+
+class TestRunner:
+    def run_workload(self, engine, name, duration=0.15):
+        db = make_db(engine, profile=xpoint_ssd(), options=tiny_options())
+        prefill(db, PrefillSpec(key_count=5000, value_size=64))
+        runner = YcsbRunner(
+            CORE_WORKLOADS[name],
+            key_count=5000,
+            value_size=64,
+            clients=2,
+            duration_ns=seconds(duration),
+            seed=9,
+        )
+        return runner.run(db)
+
+    @pytest.mark.parametrize("name", ["A", "B", "C", "D", "E", "F"])
+    def test_all_core_workloads_run(self, engine, name):
+        result = self.run_workload(engine, name)
+        assert result.ops > 0
+        assert result.kops > 0
+        assert result.latency.count == result.ops
+
+    def test_workload_c_pure_reads(self, engine):
+        result = self.run_workload(engine, "C")
+        assert set(result.op_counts) == {OP_READ}
+
+    def test_workload_d_inserts_fresh_keys(self, engine):
+        result = self.run_workload(engine, "D")
+        assert result.op_counts.get(OP_INSERT, 0) > 0
+
+    def test_workload_e_scans(self, engine):
+        result = self.run_workload(engine, "E")
+        assert result.op_counts.get(OP_SCAN, 0) > 0
+
+    def test_summary_keys(self, engine):
+        summary = self.run_workload(engine, "A").summary()
+        assert {"workload", "kops", "p50_us", "p99_us"} <= set(summary)
+
+    def test_deterministic(self):
+        from repro.sim.engine import Engine
+
+        def run():
+            engine = Engine()
+            return self.run_workload(engine, "A")
+
+        a, b = run(), run()
+        assert a.ops == b.ops
+        assert a.latency.total == b.latency.total
