@@ -42,6 +42,7 @@ from repro.lsm.db import DB
 from repro.lsm.options import Options
 from repro.lsm.value import ValueRef
 from repro.lsm.write_batch import WriteBatch
+from repro.obs import Tracer, set_active_tracer
 from repro.sim.engine import Engine
 from repro.storage.profiles import (
     nvm_dimm,
@@ -65,6 +66,7 @@ __all__ = [
     "ReproError",
     "SimulationError",
     "StorageError",
+    "Tracer",
     "ValueRef",
     "WorkloadError",
     "WriteBatch",
@@ -72,5 +74,6 @@ __all__ = [
     "nvm_dimm",
     "pcie_flash_ssd",
     "sata_flash_ssd",
+    "set_active_tracer",
     "xpoint_ssd",
 ]

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import WorkloadError
 from repro.lsm.options import Options
@@ -117,3 +118,13 @@ def preset_by_name(name: str) -> ScalePreset:
 def bench_preset() -> ScalePreset:
     """Preset used by the benchmark suite (override via REPRO_PRESET)."""
     return preset_by_name(os.environ.get("REPRO_PRESET", "small"))
+
+
+def trace_path() -> Optional[str]:
+    """Default trace output path (the ``REPRO_TRACE`` env var), or None.
+
+    The CLI's ``--trace`` flag overrides this; the env var exists so the
+    benchmark suite and ad-hoc scripts can be traced without plumbing a
+    flag through (``REPRO_TRACE=out.json python -m repro.harness fig05``).
+    """
+    return os.environ.get("REPRO_TRACE") or None

@@ -160,11 +160,18 @@ def _tracked_items(meta: FileMetadata, chunk: int, read_requests: List):
 
 
 class CompactionJob:
-    """Executes one picked compaction inside a background process."""
+    """Executes one picked compaction inside a background process.
 
-    def __init__(self, db: "DB", compaction: Compaction) -> None:
+    ``track`` names the trace thread the compaction span is recorded on
+    (the DB passes its worker's track so concurrent jobs don't overlap).
+    """
+
+    def __init__(
+        self, db: "DB", compaction: Compaction, track: str = "compact"
+    ) -> None:
         self.db = db
         self.compaction = compaction
+        self.track = track
 
     def _is_bottommost(self) -> bool:
         """True if no deeper level overlaps this compaction's key range."""
@@ -186,6 +193,8 @@ class CompactionJob:
         chunk = opts.compaction_readahead_bytes
         drop_tombstones = self._is_bottommost()
         target_bytes = opts.target_file_size(c.output_level)
+        tracer = db.engine.tracer
+        tracer.span_begin(self.track, f"compact L{c.level}->L{c.output_level}")
 
         read_requests: List = []
         # Decorate each stream with a (key, -seq) sort key so the k-way merge
@@ -317,4 +326,13 @@ class CompactionJob:
         )
         db.stats.inc("compaction.entries_in", entries_in)
         db.stats.inc("compaction.entries_out", entries_out)
+        tracer.span_end(
+            self.track,
+            {
+                "bytes_in": c.input_bytes,
+                "bytes_out": sum(f.file_bytes for f in new_files),
+                "entries_in": entries_in,
+                "entries_out": entries_out,
+            },
+        )
         return new_files

@@ -140,11 +140,11 @@ class DB:
         self._workers = []
         for i in range(self.options.max_background_flushes):
             self._workers.append(
-                engine.process(self._flush_worker(), name=f"flush-{i}")
+                engine.process(self._flush_worker(i), name=f"flush-{i}")
             )
         for i in range(self.options.max_background_compactions):
             self._workers.append(
-                engine.process(self._compaction_worker(), name=f"compact-{i}")
+                engine.process(self._compaction_worker(i), name=f"compact-{i}")
             )
         self._update_stall_state()
 
@@ -285,6 +285,7 @@ class DB:
 
     def _lead_group(self, leader: Writer):
         """Leader duties: group formation, memtable switch, WAL, fan-out."""
+        group_start = self.engine.now
         group = leader.queue.form_group(leader)
         cpu = (
             self.costs.write_group_leader_ns
@@ -324,6 +325,9 @@ class DB:
 
         leader.queue.wal_phase_done(group)
         yield from self._memtable_phase(leader)
+        self.engine.tracer.write_group(
+            group_start, self.engine.now, len(group.writers)
+        )
 
     def _memtable_phase(self, writer: Writer):
         """One group member applies its batch to the mutable memtable."""
@@ -355,6 +359,7 @@ class DB:
             self.memtables.mutable.min_log_number = self.wal.current_number
         self._flush_store.put(sealed)
         self.stats.inc("memtable.switches")
+        self.engine.tracer.instant("db", "memtable.switch")
         self._update_stall_state()
 
     # -------------------------------------------------------------------- reads
@@ -535,13 +540,14 @@ class DB:
 
     # --------------------------------------------------------------- background
 
-    def _flush_worker(self):
+    def _flush_worker(self, worker: int = 0):
+        track = f"flush-{worker}"
         while True:
             item = yield self._flush_store.get()
             if item is _CLOSE:
                 return
             self._active_flushes += 1
-            job = FlushJob(self, item)
+            job = FlushJob(self, item, track=track)
             yield from job.run()
             if item in self.memtables.immutables:
                 self.memtables.immutables.remove(item)
@@ -550,7 +556,8 @@ class DB:
             self._update_stall_state()
             self._maybe_schedule_compaction()
 
-    def _compaction_worker(self):
+    def _compaction_worker(self, worker: int = 0):
+        track = f"compact-{worker}"
         while True:
             token = yield self._compaction_store.get()
             self._compaction_tokens -= 1
@@ -562,7 +569,7 @@ class DB:
                     break
                 self._active_compactions += 1
                 self._update_stall_state()
-                job = CompactionJob(self, compaction)
+                job = CompactionJob(self, compaction, track=track)
                 yield from job.run()
                 self._active_compactions -= 1
                 self._update_stall_state()

@@ -24,11 +24,16 @@ _IO_CHUNK = 1 * 1024 * 1024
 
 
 class FlushJob:
-    """One memtable -> one Level-0 file."""
+    """One memtable -> one Level-0 file.
 
-    def __init__(self, db: "DB", memtable: "MemTable") -> None:
+    ``track`` names the trace thread the flush span is recorded on (the
+    DB passes its worker's track so concurrent flushes don't overlap).
+    """
+
+    def __init__(self, db: "DB", memtable: "MemTable", track: str = "flush") -> None:
         self.db = db
         self.memtable = memtable
+        self.track = track
 
     def run(self):
         """Generator: perform the flush; returns the new FileMetadata."""
@@ -38,6 +43,8 @@ class FlushJob:
             raise DBError("flushing a mutable memtable")
         if mt.is_empty():
             return None
+        tracer = db.engine.tracer
+        tracer.span_begin(self.track, "flush")
 
         number = db.versions.new_file_number()
         builder = SSTBuilder(
@@ -79,4 +86,5 @@ class FlushJob:
         db.stats.inc("flush.count")
         db.stats.inc("flush.bytes", total)
         db.stats.inc("flush.entries", entries)
+        tracer.span_end(self.track, {"bytes": total, "entries": entries})
         return meta

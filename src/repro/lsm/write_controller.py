@@ -81,6 +81,9 @@ class WriteController:
             return
         old_state = self.state
         self.state = new_state
+        self.engine.tracer.stall_transition(
+            old_state, new_state, self.delayed_write_rate
+        )
         if old_state == STOPPED and self._stop_event is not None:
             self._stop_event.succeed()
             self._stop_event = None
@@ -126,6 +129,11 @@ class WriteController:
         """
         if self.state != DELAYED:
             self._prev_backlog = None
+            # A reservation from a previous DELAYED episode must not outlive
+            # it: without this reset, re-entering DELAYED shortly after (e.g.
+            # via STOPPED, which skips reset_rate()) would charge the first
+            # writes for credit consumed before the episode ended.
+            self._next_refill_time = 0
             return 0
         now = self.engine.now
         refill = self.options.refill_interval_ns

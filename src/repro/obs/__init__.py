@@ -1,0 +1,47 @@
+"""Observability: virtual-time tracing keyed to ``Engine.now``.
+
+The paper is a *measurement* study: its figures come from per-second
+throughput timelines, queue-depth probes and stall-state transitions.  This
+package records those same signals as an event trace over simulated time —
+spans, instants and counters in the Chrome ``trace_events`` format — so a
+run can be opened in Perfetto (https://ui.perfetto.dev) and inspected
+interval by interval instead of only through end-of-run aggregates.
+
+Usage::
+
+    from repro.obs import Tracer, set_active_tracer
+
+    tracer = Tracer()
+    set_active_tracer(tracer)   # every Engine created now records into it
+    ... run experiments ...
+    set_active_tracer(None)
+    tracer.export("trace.json")  # open in ui.perfetto.dev
+
+or pass a tracer to one engine explicitly: ``Engine(tracer=tracer)``.
+
+When no tracer is active every instrumentation hook resolves to the shared
+:data:`NULL_TRACER`, whose methods are empty — instrumented hot paths carry
+no conditionals and no measurable cost.
+"""
+
+from repro.obs.summary import busiest_device_windows, stall_episodes, summarize
+from repro.obs.tracer import (
+    NULL_TRACER,
+    EngineTracer,
+    NullTracer,
+    Tracer,
+    active_tracer,
+    set_active_tracer,
+)
+
+__all__ = [
+    "EngineTracer",
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+    "active_tracer",
+    "busiest_device_windows",
+    "set_active_tracer",
+    "stall_episodes",
+    "summarize",
+]

@@ -1,0 +1,112 @@
+"""Textual trace digests: longest write stalls, busiest device intervals.
+
+These are the questions the paper's timeline figures answer at a glance —
+"when did writes stall, for how long, and what was the device doing?" — but
+computed from the event trace so they work on any traced run without
+re-plotting.  The heavy lifting (span collection) reuses the raw event
+tuples; nothing here touches simulation state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.units import fmt_time
+
+_NORMAL = "normal"
+
+
+def stall_episodes(tracer) -> List[Tuple[str, int, Optional[int], List[str]]]:
+    """Non-normal write-controller episodes from stall-transition instants.
+
+    Returns ``(track, start_ns, end_ns, states)`` tuples, one per contiguous
+    period spent outside NORMAL; ``end_ns`` is None for an episode still open
+    when the trace ended.  ``states`` lists the stall states visited
+    (e.g. ``["delayed", "stopped", "delayed"]``).
+    """
+    episodes: List[Tuple[str, int, Optional[int], List[str]]] = []
+    open_eps: Dict[str, Tuple[int, List[str]]] = {}
+    for track, ph, name, ts, _dur, _args in tracer.iter_events():
+        if ph != "i" or not track.endswith("write_controller") or "->" not in name:
+            continue
+        _old, _, new = name.partition("->")
+        if new == _NORMAL:
+            if track in open_eps:
+                start, states = open_eps.pop(track)
+                episodes.append((track, start, ts, states))
+        elif track in open_eps:
+            open_eps[track][1].append(new)
+        else:
+            open_eps[track] = (ts, [new])
+    for track, (start, states) in open_eps.items():
+        episodes.append((track, start, None, states))
+    return episodes
+
+
+def busiest_device_windows(
+    tracer, window_ns: Optional[int] = None
+) -> List[Tuple[str, int, int, float]]:
+    """Per-device time windows ranked by service time, busiest first.
+
+    Returns ``(track, window_start_ns, busy_ns, busy_fraction)`` tuples.
+    A request's whole service span is attributed to the window containing
+    its start — exact enough for "where was the device hammered?" and O(1)
+    per span.  The busy fraction can exceed 1.0 on multi-channel devices.
+    """
+    spans: List[Tuple[str, int, int]] = []
+    horizon = 0
+    for track, ph, name, ts, dur, _args in tracer.iter_events():
+        if ph != "X" or "device/" not in track or name.endswith(".wait"):
+            continue
+        spans.append((track, ts, dur))
+        horizon = max(horizon, ts + dur)
+    if not spans:
+        return []
+    if window_ns is None:
+        window_ns = max(1, horizon // 20)
+    busy: Dict[Tuple[str, int], int] = {}
+    for track, ts, dur in spans:
+        key = (track, ts // window_ns)
+        busy[key] = busy.get(key, 0) + dur
+    out = [
+        (track, idx * window_ns, ns, ns / window_ns)
+        for (track, idx), ns in busy.items()
+    ]
+    out.sort(key=lambda w: w[2], reverse=True)
+    return out
+
+
+def summarize(tracer, top_n: int = 5) -> str:
+    """Multi-line digest of a trace: stall and device-busyness highlights."""
+    lines = [f"trace summary: {tracer.num_events} events"]
+    if tracer.dropped:
+        lines[0] += f" (+{tracer.dropped} dropped at the max_events cap)"
+
+    episodes = stall_episodes(tracer)
+    if episodes:
+        ranked = sorted(
+            episodes,
+            key=lambda ep: (ep[2] if ep[2] is not None else ep[1]) - ep[1],
+            reverse=True,
+        )
+        lines.append(f"write stalls: {len(episodes)} episode(s); longest:")
+        for track, start, end, states in ranked[:top_n]:
+            dur = "unfinished" if end is None else fmt_time(end - start)
+            path = "->".join(states)
+            lines.append(
+                f"  {track}: {path} at t={start / 1e9:.3f}s for {dur}"
+            )
+    else:
+        lines.append("write stalls: none recorded")
+
+    windows = busiest_device_windows(tracer)
+    if windows:
+        lines.append("busiest device intervals:")
+        for track, start, busy_ns, frac in windows[:top_n]:
+            lines.append(
+                f"  {track}: {fmt_time(busy_ns)} of service time from "
+                f"t={start / 1e9:.3f}s ({frac:.0%} of one channel)"
+            )
+    else:
+        lines.append("busiest device intervals: no device spans recorded")
+    return "\n".join(lines)

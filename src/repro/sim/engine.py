@@ -39,6 +39,7 @@ import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
+from repro.obs.tracer import active_tracer
 
 ProcessGen = Generator[Any, Any, Any]
 
@@ -205,6 +206,7 @@ class Process(Event):
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
         engine._schedule(self, None, None, 0)
+        engine.tracer.process_spawn(self.name)
 
     @property
     def done(self) -> bool:
@@ -231,6 +233,7 @@ class Process(Event):
                 self.triggered = True
                 self._value = stop.value
                 self._fire()
+                engine.tracer.process_finish(self.name, True)
                 return
             except BaseException as err:  # noqa: BLE001 - process crashed
                 self.triggered = True
@@ -239,6 +242,7 @@ class Process(Event):
                     # Nobody is joining this process: surface the crash.
                     engine._crashed.append(self)
                 self._fire()
+                engine.tracer.process_finish(self.name, False)
                 return
 
             cls = target.__class__
@@ -266,14 +270,20 @@ class Process(Event):
 
 
 class Engine:
-    """The simulation event loop and virtual clock."""
+    """The simulation event loop and virtual clock.
 
-    def __init__(self) -> None:
+    ``tracer`` is a :class:`repro.obs.Tracer` to record this engine's runs
+    into; by default the globally active tracer is used (the shared no-op
+    tracer unless :func:`repro.obs.set_active_tracer` installed a real one).
+    """
+
+    def __init__(self, tracer: Optional[Any] = None) -> None:
         self._now = 0
         self._heap: list[tuple[int, int, Any, Any, Optional[BaseException]]] = []
         self._seq = 0
         self._running = False
         self._crashed: list[Process] = []
+        self.tracer = (tracer if tracer is not None else active_tracer()).bind(self)
 
     # -- clock ----------------------------------------------------------------
 

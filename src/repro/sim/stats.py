@@ -64,6 +64,14 @@ class LatencyHistogram:
         if self.max is None or value > self.max:
             self.max = value
 
+    def reset(self) -> None:
+        """Discard all samples in place; held references stay valid."""
+        self._buckets.clear()
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -137,12 +145,14 @@ class TimeSeries:
         """Return ``(bucket_start_seconds, events_per_second)`` pairs.
 
         Buckets with zero events inside [start, end) are included so
-        near-stop periods are visible in timelines.
+        near-stop periods are visible in timelines.  When ``end`` is not
+        bucket-aligned the trailing partial bucket is included — the final
+        instants of a run must not vanish from timeline figures.
         """
         if not self._buckets and end is None:
             return []
         last = max(self._buckets) if self._buckets else 0
-        end_idx = (end // self.bucket_ns) if end is not None else last + 1
+        end_idx = -(-end // self.bucket_ns) if end is not None else last + 1
         start_idx = start // self.bucket_ns
         per_sec = SEC / self.bucket_ns
         return [
@@ -228,5 +238,12 @@ class StatsSet:
         return self._histograms.keys()
 
     def reset(self) -> None:
+        """Zero all counters and histograms.
+
+        Histograms are cleared *in place* so callers holding a
+        :meth:`histogram` reference keep recording into the registered
+        object rather than an orphan invisible to :meth:`histogram_names`.
+        """
         self._tickers.clear()
-        self._histograms.clear()
+        for hist in self._histograms.values():
+            hist.reset()

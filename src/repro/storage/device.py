@@ -20,7 +20,7 @@ characteristic of NAND devices.  3D XPoint profiles disable GC entirely.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.errors import StorageError
 from repro.sim.engine import Engine, Event
@@ -47,6 +47,12 @@ class StorageDevice:
         self.profile = profile
         self.rng = (rng or RandomStream(0)).fork(f"device/{profile.name}")
         self.track_queue_depth = track_queue_depth
+        # Tracing: request spans are emitted through the engine's tracer (a
+        # shared no-op when tracing is off).  In-flight accounting is needed
+        # for either queue-depth reporting or counter events.
+        self._tracer = engine.tracer
+        self._track = f"device/{profile.name}"
+        self._observe = track_queue_depth or self._tracer.enabled
         # Per-channel cursors.  `_channel_free` is when all committed work
         # (reads + writes) drains; `_channel_read_free` is when the channel
         # could start a *read*: firmware gives reads priority over queued
@@ -157,11 +163,19 @@ class StorageDevice:
         now = self.engine.now
         prof = self.profile
 
-        finish = now
+        start = finish = now
+        first = True
         remaining = nbytes
         while remaining > 0:
             chunk = min(remaining, prof.stripe_bytes)
-            finish = max(finish, self._submit_stripe(op, chunk, sequential, now))
+            stripe_start, stripe_finish = self._submit_stripe(
+                op, chunk, sequential, now
+            )
+            if first or stripe_start < start:
+                start = stripe_start
+                first = False
+            if stripe_finish > finish:
+                finish = stripe_finish
             remaining -= chunk
 
         latency = finish - now
@@ -174,19 +188,28 @@ class StorageDevice:
             self._bytes_written += nbytes
             self.write_latency.record(latency)
 
+        self._tracer.device_request(
+            self._track, op, now, start, finish, nbytes, sequential
+        )
         done = self.engine.timeout(latency)
-        if self.track_queue_depth:
-            # Instantaneous in-flight requests, for queue-depth reporting.
+        if self._observe:
+            # Instantaneous in-flight requests, for queue-depth reporting
+            # and queue-depth counter events in traces.
             self._inflight += 1
             self.queue_depth.update(now, self._inflight)
+            self._tracer.counter(self._track, "inflight", self._inflight)
             done.callbacks.append(self._on_complete)
         return done
 
     def _on_complete(self, _ev: Event) -> None:
         self._inflight -= 1
         self.queue_depth.update(self.engine.now, self._inflight)
+        self._tracer.counter(self._track, "inflight", self._inflight)
 
-    def _submit_stripe(self, op: str, nbytes: int, sequential: bool, now: int) -> int:
+    def _submit_stripe(
+        self, op: str, nbytes: int, sequential: bool, now: int
+    ) -> Tuple[int, int]:
+        """Queue one stripe; returns its (service_start, finish) timestamps."""
         prof = self.profile
 
         # Dispatch: sequential stripes rotate round-robin (striping); random
@@ -274,6 +297,7 @@ class StorageDevice:
                 self._gc_debt -= prof.gc_interval_bytes
                 service += prof.gc_pause_ns
                 self._gc_pauses += 1
+                self._tracer.gc_pause(self._track, start, prof.gc_pause_ns)
 
         finish = start + service
         if foreground:
@@ -287,4 +311,4 @@ class StorageDevice:
             self._channel_free[channel] = finish
             self._channel_last_bg_service[channel] = service
         self._busy_ns += service
-        return finish
+        return start, finish

@@ -138,6 +138,22 @@ class TestDelays:
         assert wc.stats.get("delay_ns_total") > 0
 
 
+class TestRefillClockReset:
+    def test_stale_reservation_cleared_on_leaving_delayed(self, engine):
+        """Regression: reservations from one DELAYED episode must not
+        charge the first writes of the next one (STOPPED skips
+        reset_rate(), so get_delay() itself has to clear the clock)."""
+        wc = make_controller(engine, delayed_write_rate=1 * MB)
+        wc.update(metrics(l0=20))
+        for _ in range(8):  # reserve 512 KB at 1 MB/s ~ 0.5 s of credit
+            wc.get_delay(64 * 1024)
+        assert wc._next_refill_time > engine.now + SEC // 3
+        wc.update(metrics(l0=36))  # DELAYED -> STOPPED
+        assert wc.get_delay(1024) == 0  # non-delayed probe resets the clock
+        wc.update(metrics(l0=20))  # STOPPED -> DELAYED again
+        assert wc.get_delay(1024) <= wc.options.refill_interval_ns
+
+
 class TestRateAdaptation:
     def test_rate_decays_when_backlog_grows(self, engine):
         wc = make_controller(engine)

@@ -105,6 +105,46 @@ class TestLatencyHistogram:
             hist.record(v)
         assert hist.mean == pytest.approx(20.0)
 
+    def test_reset_in_place(self):
+        hist = LatencyHistogram("lat")
+        hist.record(100, n=5)
+        hist.reset()
+        assert hist.count == 0
+        assert hist.total == 0
+        assert hist.min is None and hist.max is None
+        assert hist.percentile(99) == 0.0
+        hist.record(7)
+        assert hist.summary()["p50"] == pytest.approx(7.0)
+
+
+class TestPercentileAccuracy:
+    """p50/p90/p99 track exact percentiles within ~3% from 1 ns to 10 s.
+
+    The histogram's 32 sub-buckets per octave bound the relative bucket
+    width at 1/32 ~ 3.1%, so the interpolated percentile can be at most one
+    bucket width from the exact order statistic at any magnitude.
+    """
+
+    SCALES = [1, 10, 1_000, 100_000, 10_000_000, 10 * SEC]
+
+    @pytest.mark.parametrize("dist", ["uniform", "lognormal"])
+    @pytest.mark.parametrize("scale", SCALES)
+    def test_within_relative_error(self, scale, dist):
+        rng = np.random.default_rng(scale % 2**31 + (dist == "lognormal"))
+        if dist == "uniform":
+            samples = rng.integers(0, scale + 1, size=4000)
+        else:
+            samples = np.minimum(
+                rng.lognormal(mean=np.log(scale), sigma=1.0, size=4000), 10 * SEC
+            ).astype(np.int64)
+        hist = LatencyHistogram()
+        for s in samples.tolist():
+            hist.record(int(s))
+        for p in (50, 90, 99):
+            exact = float(np.percentile(samples, p, method="inverted_cdf"))
+            approx = hist.percentile(p)
+            assert abs(approx - exact) <= max(0.035 * exact, 1.0), (p, scale, dist)
+
 
 class TestTimeSeries:
     def test_bucket_rates(self):
@@ -143,6 +183,21 @@ class TestTimeSeries:
     def test_empty_series(self):
         ts = TimeSeries()
         assert ts.series() == []
+
+    def test_trailing_partial_bucket_included(self):
+        """Regression: events after the last full bucket used to vanish
+        when ``end`` was not bucket-aligned."""
+        ts = TimeSeries(bucket_ns=SEC)
+        ts.record(0)
+        ts.record(int(2.5 * SEC), n=4)
+        series = ts.series(0, int(2.5 * SEC))
+        assert series == [(0.0, 1.0), (1.0, 0.0), (2.0, 4.0)]
+
+    def test_aligned_end_stays_half_open(self):
+        ts = TimeSeries(bucket_ns=SEC)
+        ts.record(0, n=2)
+        ts.record(2 * SEC, n=3)  # at the end boundary: excluded
+        assert ts.series(0, 2 * SEC) == [(0.0, 2.0), (1.0, 0.0)]
 
 
 class TestTimeWeightedGauge:
@@ -213,3 +268,17 @@ class TestStatsSet:
         s.reset()
         assert s.get("a") == 0
         assert s.tickers() == {}
+
+    def test_reset_clears_histograms_in_place(self):
+        """Regression: reset() used to orphan histogram references — a
+        caller holding one kept recording into an object the set no longer
+        reported."""
+        s = StatsSet()
+        h = s.histogram("h")
+        h.record(5)
+        s.reset()
+        assert h.count == 0
+        assert s.histogram("h") is h
+        assert list(s.histogram_names()) == ["h"]
+        h.record(7)
+        assert s.histogram("h").count == 1
