@@ -30,10 +30,13 @@ from repro.errors import (
     CorruptionError,
     DBClosedError,
     DBError,
+    FaultConfigError,
     FileSystemError,
+    IOFaultError,
     OptionsError,
     ReproError,
     SimulationError,
+    StaleFileError,
     StorageError,
     WorkloadError,
 )
@@ -59,12 +62,15 @@ __all__ = [
     "DBClosedError",
     "DBError",
     "Engine",
+    "FaultConfigError",
     "FileSystemError",
+    "IOFaultError",
     "Machine",
     "Options",
     "OptionsError",
     "ReproError",
     "SimulationError",
+    "StaleFileError",
     "StorageError",
     "Tracer",
     "ValueRef",

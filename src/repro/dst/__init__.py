@@ -1,0 +1,30 @@
+"""Deterministic simulation testing (DST) for the simulated LSM stack.
+
+One :class:`DstRun` stands up a full machine — engine, fault-injected
+device and filesystem, DB — drives a seeded random workload interleaved
+with a seeded fault schedule, crashes the machine, recovers, and checks
+crash-consistency invariants:
+
+* **acked durability** — every acknowledged (group-committed, fsynced)
+  write is readable after recovery;
+* **prefix consistency** — the surviving state corresponds to some prefix
+  cut of the issued write sequence at or after the last acked write (no
+  un-acked write resurrects while an older acked one is lost, no stale
+  value reappears);
+* **structural integrity** — the recovered version references only live,
+  fully durable SST files and satisfies the level invariants.
+
+Reads that hit injected media corruption must fail with a typed
+:class:`~repro.errors.CorruptionError` — detection counts as correct
+behaviour; silent wrong data does not.
+
+Everything — workload, fault schedule, device timing — derives from one
+seed through named :class:`~repro.sim.rng.RandomStream` forks, so a run
+is reproducible down to its virtual-time event log.  ``python -m
+repro.dst --seed N`` replays a seed; a failing seed prints a minimal
+repro command line.
+"""
+
+from repro.dst.harness import DstConfig, DstResult, DstRun
+
+__all__ = ["DstConfig", "DstResult", "DstRun"]

@@ -1,0 +1,127 @@
+"""CLI: ``python -m repro.dst --seed N`` (and seed sweeps for CI).
+
+Each seed is one independent simulated universe: workload, fault
+schedule and crash point all derive from it.  A failing seed prints a
+minimal repro command; ``--save`` dumps the fault schedule as JSON and
+``--replay`` re-runs a saved schedule under any seed's workload.
+``--selfcheck`` runs every seed twice in-process and demands
+byte-identical event logs — the determinism contract CI leans on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.dst.harness import DstConfig, DstResult, DstRun
+from repro.faults import FaultSchedule
+
+
+def _parse_seeds(args: argparse.Namespace) -> List[int]:
+    if args.seeds:
+        lo, _, hi = args.seeds.partition(":")
+        try:
+            lo_i, hi_i = int(lo), int(hi)
+        except ValueError:
+            raise SystemExit(f"bad --seeds range {args.seeds!r} (want A:B)")
+        if hi_i <= lo_i:
+            raise SystemExit(f"empty --seeds range {args.seeds!r}")
+        return list(range(lo_i, hi_i))
+    return [args.seed]
+
+
+def _config(args: argparse.Namespace, schedule: Optional[FaultSchedule]) -> DstConfig:
+    return DstConfig(
+        num_ops=args.ops,
+        num_keys=args.keys,
+        faults=not args.no_faults,
+        max_faults=args.max_faults,
+        schedule=schedule,
+    )
+
+
+def _repro_line(args: argparse.Namespace, seed: int) -> str:
+    parts = [f"python -m repro.dst --seed {seed}"]
+    if args.ops != 300:
+        parts.append(f"--ops {args.ops}")
+    if args.keys != 40:
+        parts.append(f"--keys {args.keys}")
+    if args.no_faults:
+        parts.append("--no-faults")
+    if args.replay:
+        parts.append(f"--replay {args.replay}")
+    return " ".join(parts)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.dst",
+        description="Deterministic crash-consistency testing of the simulated LSM stack.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="single seed to run")
+    parser.add_argument(
+        "--seeds", metavar="A:B", help="run seeds A..B-1 (overrides --seed)"
+    )
+    parser.add_argument("--ops", type=int, default=300, help="workload operations")
+    parser.add_argument("--keys", type=int, default=40, help="key-space size")
+    parser.add_argument(
+        "--no-faults", action="store_true", help="clean run: no faults, power cut at end"
+    )
+    parser.add_argument(
+        "--max-faults", type=int, default=5, help="max random fault specs per run"
+    )
+    parser.add_argument(
+        "--replay", metavar="FILE", help="run a saved fault schedule (JSON) instead of a random one"
+    )
+    parser.add_argument(
+        "--save", metavar="FILE", help="write the run's fault schedule as JSON"
+    )
+    parser.add_argument(
+        "--log", action="store_true", help="print the virtual-time event log"
+    )
+    parser.add_argument(
+        "--selfcheck",
+        action="store_true",
+        help="run each seed twice; fail unless event logs are byte-identical",
+    )
+    args = parser.parse_args(argv)
+
+    schedule = FaultSchedule.from_file(args.replay) if args.replay else None
+    failures = 0
+    for seed in _parse_seeds(args):
+        result = DstRun(seed, _config(args, schedule)).run()
+        if args.selfcheck:
+            again = DstRun(seed, _config(args, schedule)).run()
+            if again.events != result.events or again.verdict != result.verdict:
+                print(f"seed={seed} NONDETERMINISTIC: reruns diverge")
+                for a, b in zip(result.events, again.events):
+                    if a != b:
+                        print(f"  first : {a}\n  second: {b}")
+                        break
+                failures += 1
+                continue
+        status = result.verdict
+        crash = "clean" if result.crash_ns < 0 else f"t={result.crash_ns}"
+        print(
+            f"seed={seed} {status} cut={result.cut}/{result.writes_issued} "
+            f"acked={result.writes_acked} crash={crash} "
+            f"faults={result.faults_fired}"
+            + (" deterministic" if args.selfcheck else "")
+        )
+        if args.log:
+            for line in result.events:
+                print(f"  {line}")
+        if args.save:
+            with open(args.save, "w", encoding="utf-8") as fh:
+                fh.write(result.schedule_json + "\n")
+            print(f"  schedule saved to {args.save}")
+        if not result.ok:
+            failures += 1
+            print(f"  reason: {result.reason}")
+            print(f"  repro: {_repro_line(args, seed)}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,392 @@
+"""The DST harness: seeded workload + seeded faults -> crash -> verify.
+
+The harness owns the scheduler loop: it steps the engine one occurrence
+batch at a time (``engine.run(until=engine.peek())``) and checks the fault
+injector's crash flag between steps, so a crash point lands at an exact,
+reproducible virtual time — including times where the machine is idle
+(``run(until=...)`` advances the clock through dead air).
+
+Verification is a single *prefix-cut* search.  Writes are numbered at
+generation time and their values are self-describing (the value bytes
+encode the write index), so the durable state after recovery either
+equals the replay of some prefix ``ops[1..c]`` with ``c >= last acked
+write`` — in which case the run is consistent — or no such cut exists and
+the harness reports which invariant broke.  A read that raises
+:class:`CorruptionError` is treated as *detected* loss (matches any
+expected value): the contract under injected media damage is detection,
+never silent wrong data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import CorruptionError, DBError, IOFaultError
+from repro.faults import (
+    CRASH,
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+    FaultyDevice,
+    FaultyFileSystem,
+)
+from repro.fs.page_cache import PageCache
+from repro.lsm.db import DB
+from repro.lsm.options import HASH_REP, WAL_SYNC, Options
+from repro.sim.engine import Engine
+from repro.sim.rng import RandomStream
+from repro.sim.units import kb, mb, us
+from repro.storage.profiles import xpoint_ssd
+
+_CORRUPT = object()  # observed-value sentinel: read failed with CorruptionError
+
+PUT = "put"
+DELETE = "delete"
+GET = "get"
+
+
+@dataclass(frozen=True)
+class _Op:
+    """One generated workload operation (index counts writes only)."""
+
+    kind: str
+    key: bytes
+    value: Optional[bytes] = None
+    index: int = 0  # 1-based write index; 0 for reads
+
+
+@dataclass
+class DstConfig:
+    """Knobs of one DST run (all defaulted; the seed does the exploring)."""
+
+    num_ops: int = 300
+    num_keys: int = 40
+    faults: bool = True
+    max_faults: int = 5
+    # Virtual-time horizon the schedule (and the crash point) is drawn in.
+    # ~30 us per synced write on the XPoint profile puts the crash inside
+    # or shortly after the workload for the default op count.
+    horizon_per_op_ns: int = us(30)
+    schedule: Optional[FaultSchedule] = None  # overrides random generation
+
+    @property
+    def horizon_ns(self) -> int:
+        return self.num_ops * self.horizon_per_op_ns
+
+
+@dataclass
+class DstResult:
+    """Outcome of one run: verdict + the byte-comparable event log."""
+
+    seed: int
+    ok: bool
+    reason: str  # "" when ok
+    cut: int  # matched prefix cut (write index), -1 if none
+    writes_issued: int
+    writes_acked: int
+    crash_ns: int  # virtual crash time (-1: clean end-of-run power cut)
+    faults_fired: int
+    schedule_json: str
+    events: List[str] = field(default_factory=list)
+
+    @property
+    def verdict(self) -> str:
+        return "PASS" if self.ok else f"FAIL({self.reason})"
+
+
+def _dst_options() -> Options:
+    """A small, crash-honest configuration.
+
+    WAL_SYNC makes every ack a durability promise (the property under
+    test); the hash memtable rep keeps in-process reruns bit-identical
+    (the skiplist rep forks its RNG off a process-global counter);
+    paranoid checks verify SST block checksums on every read so injected
+    corruption is detected, not returned.
+    """
+    return Options(
+        write_buffer_size=kb(16),
+        max_bytes_for_level_base=kb(64),
+        target_file_size_base=kb(32),
+        block_cache_bytes=kb(32),
+        memtable_rep=HASH_REP,
+        wal_mode=WAL_SYNC,
+        paranoid_checks=True,
+        name="dst",
+    )
+
+
+class DstRun:
+    """One seeded workload/fault/crash/recover/verify cycle."""
+
+    def __init__(self, seed: int, config: Optional[DstConfig] = None) -> None:
+        self.seed = seed
+        self.config = config or DstConfig()
+        self.rng = RandomStream(seed, "dst")
+        self.events: List[str] = []
+        self.issued: List[_Op] = []
+        self.acked: List[_Op] = []
+        self.engine = Engine()
+
+        schedule = self.config.schedule
+        if schedule is None:
+            schedule = FaultSchedule()
+            if self.config.faults:
+                horizon = self.config.horizon_ns
+                schedule = FaultSchedule.random(
+                    self.rng.fork("faults"),
+                    horizon,
+                    max_faults=self.config.max_faults,
+                )
+                crash_at = self.rng.fork("crash").randint(horizon // 8, horizon)
+                schedule.add(FaultSpec(CRASH, at_time=crash_at))
+        self.schedule = schedule
+
+        self.injector = FaultInjector(self.engine, schedule)
+        self.device = FaultyDevice(
+            self.engine, xpoint_ssd(), self.injector, self.rng.fork("device")
+        )
+        self.fs = FaultyFileSystem(
+            self.engine, self.device, PageCache(mb(16)), self.injector
+        )
+        self.options = _dst_options()
+
+    # -- workload ----------------------------------------------------------
+
+    def _key(self, key_id: int) -> bytes:
+        return b"k%04d" % key_id
+
+    def _gen_ops(self) -> List[_Op]:
+        """The full op sequence, fixed up front (writes numbered from 1)."""
+        rng = self.rng.fork("workload")
+        ops: List[_Op] = []
+        write_index = 0
+        for _ in range(self.config.num_ops):
+            key = self._key(rng.randint(0, self.config.num_keys - 1))
+            roll = rng.uniform(0.0, 1.0)
+            if roll < 0.70:
+                write_index += 1
+                pad = rng.randint(0, 96)
+                value = b"op%06d:%s:" % (write_index, key) + b"x" * pad
+                ops.append(_Op(PUT, key, value, write_index))
+            elif roll < 0.85:
+                write_index += 1
+                ops.append(_Op(DELETE, key, None, write_index))
+            else:
+                ops.append(_Op(GET, key))
+        return ops
+
+    def _log(self, line: str) -> None:
+        self.events.append(f"t={self.engine.now} {line}")
+
+    def _client(self, db: DB, ops: List[_Op]):
+        """Generator: issue ops sequentially, recording issue/ack points."""
+        for op in ops:
+            try:
+                if op.kind == PUT:
+                    self.issued.append(op)
+                    self._log(f"issue #{op.index} put {op.key.decode()}")
+                    yield from db.put(op.key, op.value)
+                    self.acked.append(op)
+                    self._log(f"ack #{op.index}")
+                elif op.kind == DELETE:
+                    self.issued.append(op)
+                    self._log(f"issue #{op.index} del {op.key.decode()}")
+                    yield from db.delete(op.key)
+                    self.acked.append(op)
+                    self._log(f"ack #{op.index}")
+                else:
+                    value = yield from db.get(op.key)
+                    self._log(
+                        f"get {op.key.decode()} -> "
+                        + ("miss" if value is None else f"{len(value)}B")
+                    )
+            except CorruptionError as exc:
+                self._log(f"op detected corruption: {exc}")
+            except IOFaultError as exc:
+                self._log(f"op failed: {exc.op} io fault (transient={exc.transient})")
+
+    # -- scheduler loop ----------------------------------------------------
+
+    def _step_until_crash(self, proc) -> bool:
+        """Drive the engine; True if a crash point fired.
+
+        Steps one occurrence batch at a time, clamped to the next time-only
+        crash point so the crash lands at its exact virtual time even while
+        the machine is idle.
+        """
+        engine = self.engine
+        injector = self.injector
+        while True:
+            if injector.poll():
+                return True
+            if proc is not None and proc.done:
+                if proc.exception is not None:
+                    raise proc.exception
+                proc = None
+            due = injector.due_crash_time()
+            nxt = engine.peek()
+            if nxt is None:
+                if proc is not None:
+                    raise DBError("dst: workload deadlocked")
+                if due is None:
+                    return False  # idle, nothing pending: clean end
+                engine.run(until=due)
+                continue
+            engine.run(until=nxt if due is None else min(nxt, due))
+
+    def _run_op(self, gen, name: str):
+        """Drive one generator to completion (no crash checks)."""
+        proc = self.engine.process(gen, name=name)
+        proc.callbacks.append(lambda _ev: None)
+        while not proc.done:
+            nxt = self.engine.peek()
+            if nxt is None:
+                raise DBError(f"dst: {name} deadlocked")
+            self.engine.run(until=nxt)
+        if proc.exception is not None:
+            raise proc.exception
+        return proc.value
+
+    # -- verification ------------------------------------------------------
+
+    def _collect(self, db: DB) -> Dict[bytes, object]:
+        """Observed durable state: key -> value bytes (or _CORRUPT)."""
+        observed: Dict[bytes, object] = {}
+
+        def reader():
+            for key_id in range(self.config.num_keys):
+                key = self._key(key_id)
+                try:
+                    value = yield from db.get(key)
+                except CorruptionError as exc:
+                    self._log(f"verify read {key.decode()}: corruption detected")
+                    observed[key] = _CORRUPT
+                    continue
+                if value is not None:
+                    observed[key] = value
+
+        self._run_op(reader(), "dst-verify")
+        return observed
+
+    @staticmethod
+    def _matches(state: Dict[bytes, bytes], observed: Dict[bytes, object]) -> bool:
+        for key, value in observed.items():
+            if value is _CORRUPT:
+                continue  # detected loss: consistent with any expectation
+            if state.get(key) != value:
+                return False
+        for key in state:
+            if key not in observed:
+                return False
+        return True
+
+    def _find_cut(self, observed: Dict[bytes, object], min_cut: int) -> int:
+        """Smallest prefix cut >= ``min_cut`` matching ``observed``."""
+        writes = [op for op in self.issued if op.kind != GET]
+        state: Dict[bytes, bytes] = {}
+        for cut in range(len(writes) + 1):
+            if cut > 0:
+                op = writes[cut - 1]
+                if op.kind == PUT:
+                    state[op.key] = op.value
+                else:
+                    state.pop(op.key, None)
+            if cut >= min_cut and self._matches(state, observed):
+                return cut
+        return -1
+
+    def _check_structure(self, db: DB) -> Optional[str]:
+        """Structural invariant I3; returns a failure reason or None."""
+        try:
+            db.versions.current.check_invariants()
+        except DBError as exc:
+            return f"level invariants: {exc}"
+        for meta in db.versions.current.all_files():
+            if not self.fs.exists(meta.file.path):
+                return f"version references deleted file {meta.file.path}"
+            if meta.file.size < meta.sst.file_bytes:
+                return (
+                    f"version references partial file {meta.file.path} "
+                    f"({meta.file.size} < {meta.sst.file_bytes} bytes)"
+                )
+        return None
+
+    # -- the run -----------------------------------------------------------
+
+    def run(self) -> DstResult:
+        ops = self._gen_ops()
+        self._log(
+            f"dst seed={self.seed} ops={self.config.num_ops} "
+            f"keys={self.config.num_keys} specs={len(self.schedule)}"
+        )
+        db = DB(self.engine, self.fs, self.options, rng=self.rng.fork("db"))
+        proc = self.engine.process(self._client(db, ops), name="dst-client")
+        proc.callbacks.append(lambda _ev: None)
+
+        crashed = self._step_until_crash(proc)
+        crash_ns = self.engine.now if crashed else -1
+        self._log("crash point" if crashed else "workload drained; power cut")
+        self.events.append("-- faults --")
+        self.events.extend(self.injector.log)
+
+        # Power loss + recovery.  Faults stop at the crash: the check phase
+        # measures what the crash left behind, not fresh damage.
+        self.fs.crash()
+        self.injector.disarm()
+        db2 = DB(self.engine, self.fs, self.options, rng=self.rng.fork("db2"))
+        self._log(
+            "recovered"
+            f" wal_records={db2.stats.get('recovery.wal_records')}"
+            f" wal_bad={db2.stats.get('recovery.wal_bad_records')}"
+            f" wal_truncated={db2.stats.get('recovery.wal_truncated_logs')}"
+            f" wal_dropped={db2.stats.get('recovery.wal_dropped_logs')}"
+            f" files={db2.stats.get('recovery.files')}"
+        )
+
+        observed = self._collect(db2)
+        structure = self._check_structure(db2)
+        writes = [op for op in self.issued if op.kind != GET]
+        acked = [op for op in self.acked if op.kind != GET]
+        last_acked = max((op.index for op in acked), default=0)
+        # Acked durability holds up to *detected* loss: when recovery itself
+        # reported truncating bad WAL/manifest records (injected media
+        # corruption destroyed synced data — unrecoverable without
+        # replication, as in RocksDB's point-in-time recovery), the state
+        # may legitimately roll back past acks.  It must still be a
+        # consistent prefix; and undetected loss remains a failure.
+        detected_loss = (
+            db2.stats.get("recovery.wal_bad_records")
+            or db2.stats.get("recovery.wal_dropped_logs")
+            or db2.versions.stats.get("manifest_truncated_records")
+        )
+        min_cut = 0 if detected_loss else last_acked
+        cut = self._find_cut(observed, min_cut)
+
+        if structure is not None:
+            ok, reason = False, structure
+        elif cut < 0:
+            ok, reason = False, (
+                f"no consistent prefix cut >= {min_cut} "
+                f"(last acked write #{last_acked}, "
+                f"detected_loss={bool(detected_loss)})"
+            )
+        else:
+            ok, reason = True, ""
+        self._log(
+            f"verdict={'PASS' if ok else 'FAIL'} cut={cut}/{len(writes)} "
+            f"acked={len(acked)}"
+        )
+
+        return DstResult(
+            seed=self.seed,
+            ok=ok,
+            reason=reason,
+            cut=cut,
+            writes_issued=len(writes),
+            writes_acked=len(acked),
+            crash_ns=crash_ns,
+            faults_fired=len(self.injector.log),
+            schedule_json=self.schedule.to_json(),
+            events=self.events,
+        )

@@ -19,6 +19,20 @@ class StorageError(ReproError):
     """Raised by the simulated storage devices."""
 
 
+class IOFaultError(StorageError):
+    """An injected device-level I/O failure (see :mod:`repro.faults`).
+
+    ``op`` is ``"read"`` or ``"write"``; ``transient`` tells callers whether
+    a retry can be expected to succeed (RocksDB's retryable background
+    errors) or the fault is permanent (media failure).
+    """
+
+    def __init__(self, message: str, op: str = "", transient: bool = True) -> None:
+        super().__init__(message)
+        self.op = op
+        self.transient = transient
+
+
 class FileSystemError(ReproError):
     """Raised by the simulated filesystem."""
 
@@ -37,6 +51,24 @@ class OutOfSpaceError(FileSystemError):
 
 class DBError(ReproError):
     """Base class for key-value store errors."""
+
+
+class StaleFileError(FileSystemError, DBError):
+    """Raised for I/O on a file handle that is deleted or closed.
+
+    Subclasses both :class:`FileSystemError` (it is a filesystem-layer
+    condition) and :class:`DBError` (store code catches it alongside other
+    database failures), so either family of ``except`` clause sees it.
+    """
+
+    def __init__(self, path: str, state: str) -> None:
+        super().__init__(f"file {path} is {state}")
+        self.path = path
+        self.state = state
+
+
+class FaultConfigError(ReproError):
+    """Raised for invalid fault-injection schedules (:mod:`repro.faults`)."""
 
 
 class DBClosedError(DBError):

@@ -1,0 +1,60 @@
+"""Fault injection: deterministic device/filesystem misbehaviour on demand.
+
+The paper's findings hinge on how the write path behaves when the device
+misbehaves under load, yet a simulator that only models the happy path can
+never exercise those branches.  This package wraps the storage stack with a
+schedule-driven injector, in the spirit of EagleTree's event-injection
+design space exploration:
+
+* :class:`FaultSpec` / :class:`FaultSchedule` — declarative fault events
+  (I/O errors, latency spikes, stuck-I/O stalls, torn appends, media
+  corruption, crash points), triggered at a virtual time or an operation
+  count, JSON round-trippable for replay;
+* :class:`FaultInjector` — interprets a schedule deterministically and
+  keeps a virtual-time event log of everything it injected;
+* :class:`FaultyDevice` — a :class:`~repro.storage.device.StorageDevice`
+  that raises typed :class:`~repro.errors.IOFaultError` and stretches
+  completion times per the schedule;
+* :class:`FaultyFileSystem` / :class:`FaultyFile` — a
+  :class:`~repro.fs.filesystem.SimFileSystem` whose appends can tear
+  (durable watermark lands mid-record) or land on mangled media.
+
+With no schedule installed the wrappers add a single predicate call per
+operation and change no simulated timestamps: runs are bit-identical to the
+unwrapped stack.
+"""
+
+from repro.faults.device import FaultyDevice
+from repro.faults.filesystem import FaultyFile, FaultyFileSystem
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import (
+    CORRUPT_APPEND,
+    CORRUPT_SST_BLOCK,
+    CRASH,
+    FAULT_KINDS,
+    LATENCY_SPIKE,
+    READ_ERROR,
+    STALL,
+    TORN_APPEND,
+    WRITE_ERROR,
+    FaultSchedule,
+    FaultSpec,
+)
+
+__all__ = [
+    "CORRUPT_APPEND",
+    "CORRUPT_SST_BLOCK",
+    "CRASH",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "FaultyDevice",
+    "FaultyFile",
+    "FaultyFileSystem",
+    "LATENCY_SPIKE",
+    "READ_ERROR",
+    "STALL",
+    "TORN_APPEND",
+    "WRITE_ERROR",
+]

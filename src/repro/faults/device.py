@@ -1,0 +1,65 @@
+"""A storage device that misbehaves on schedule.
+
+:class:`FaultyDevice` consults its :class:`~repro.faults.injector.FaultInjector`
+on every submission.  An error spec raises :class:`~repro.errors.IOFaultError`
+*before* the request is queued — the command fails at the interface, so the
+device's channel clocks, counters and latency histograms never see it (the
+retry, if any, is a fresh submission).  A latency spec lets the request run
+normally and stretches its completion by chaining a timeout after the
+underlying event, leaving the device's internal clocks untouched: the delay
+models a hiccup on the host path, not extra channel occupancy.
+
+With no active specs the overhead is one predicate call per submission and
+no behaviour change.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.injector import FaultInjector
+from repro.sim.engine import Engine, Event
+from repro.sim.rng import RandomStream
+from repro.storage.device import READ, WRITE, StorageDevice
+from repro.storage.profiles import DeviceProfile
+
+
+class FaultyDevice(StorageDevice):
+    """A :class:`StorageDevice` wrapped with schedule-driven faults."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        profile: DeviceProfile,
+        injector: FaultInjector,
+        rng: Optional[RandomStream] = None,
+        track_queue_depth: bool = False,
+    ) -> None:
+        super().__init__(engine, profile, rng, track_queue_depth)
+        self.injector = injector
+
+    def read(self, offset: int, nbytes: int, sequential: bool = False) -> Event:
+        extra = self.injector.on_device_op(READ)  # may raise IOFaultError
+        ev = super().read(offset, nbytes, sequential)
+        if extra:
+            ev = self._stretch(ev, extra)
+        return ev
+
+    def write(self, offset: int, nbytes: int, sequential: bool = False) -> Event:
+        extra = self.injector.on_device_op(WRITE)  # may raise IOFaultError
+        ev = super().write(offset, nbytes, sequential)
+        if extra:
+            ev = self._stretch(ev, extra)
+        return ev
+
+    def _stretch(self, ev: Event, extra_ns: int) -> Event:
+        """Chain ``extra_ns`` of delay after ``ev`` fires."""
+        engine = self.engine
+        out = engine.event()
+
+        def _after(_ev: Event) -> None:
+            timeout = engine.timeout(extra_ns)
+            timeout.callbacks.append(lambda _t: out.succeed())
+
+        ev.callbacks.append(_after)
+        return out

@@ -1,0 +1,59 @@
+"""A filesystem whose appends can tear or land on bad media.
+
+:class:`FaultyFile` hooks :meth:`~repro.fs.filesystem.SimFile.append`:
+after the normal append is applied, the injector may tear the record
+(advance the durable watermark mid-record — the state a power cut during
+writeback leaves behind), mark the appended range as corrupted media, or
+flip an SST block checksum in the file's payload.  Device-level faults
+(errors, latency) come from pairing the filesystem with a
+:class:`~repro.faults.device.FaultyDevice`; this layer only injects the
+failure modes that need file-offset knowledge.
+
+:class:`FaultyFileSystem` is a :class:`~repro.fs.filesystem.SimFileSystem`
+with ``file_class`` pointed at :class:`FaultyFile` and the injector handle
+threaded through, so every created file participates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.faults.injector import FaultInjector
+from repro.fs.filesystem import SimFile, SimFileSystem
+from repro.sim.engine import Engine, Event
+from repro.storage.device import StorageDevice
+
+
+class FaultyFile(SimFile):
+    """A :class:`SimFile` that reports appends to the fault injector."""
+
+    def append(self, nbytes: int, record: Any = None) -> Optional[Event]:
+        ev = super().append(nbytes, record)
+        injector = self.fs.injector
+        if injector is not None:
+            injector.on_append(self, self.size - nbytes, nbytes)
+        return ev
+
+
+class FaultyFileSystem(SimFileSystem):
+    """A :class:`SimFileSystem` wired to a :class:`FaultInjector`."""
+
+    file_class = FaultyFile
+
+    def __init__(
+        self,
+        engine: Engine,
+        device: StorageDevice,
+        page_cache,
+        injector: Optional[FaultInjector] = None,
+        writeback_bytes: int = 256 * 1024,
+        dirty_limit_bytes: int = 1024 * 1024,
+    ) -> None:
+        super().__init__(
+            engine,
+            device,
+            page_cache,
+            writeback_bytes=writeback_bytes,
+            dirty_limit_bytes=dirty_limit_bytes,
+        )
+        self.injector = injector

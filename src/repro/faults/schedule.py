@@ -1,0 +1,194 @@
+"""Declarative fault schedules.
+
+A :class:`FaultSpec` describes one fault event: what goes wrong
+(``kind``), when it triggers (``at_time`` in virtual ns and/or ``at_op``
+as a 1-based count of matching operations), where (``path`` prefix for
+filesystem faults), and how often once armed (``count``).  A
+:class:`FaultSchedule` is an ordered list of specs; order is the
+tie-break when several specs could fire on the same operation, so a
+schedule is a complete, deterministic description of a faulty run.
+
+Schedules serialise to JSON (:meth:`FaultSchedule.to_json` /
+:meth:`from_json`) so a failing DST seed can be replayed byte-for-byte
+from its saved schedule, and :meth:`FaultSchedule.random` draws a
+schedule from a named :class:`~repro.sim.rng.RandomStream` for seeded
+exploration.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import FaultConfigError
+from repro.sim.rng import RandomStream
+from repro.sim.units import ms, us
+
+# Device-level faults (trigger on device read/write submissions).
+READ_ERROR = "read_error"  # read submission raises IOFaultError
+WRITE_ERROR = "write_error"  # write submission raises IOFaultError (surfaces at fsync)
+LATENCY_SPIKE = "latency_spike"  # completion delayed by extra_ns
+STALL = "stall"  # same mechanics, stuck-I/O magnitude
+CRASH = "crash"  # request a whole-machine crash point
+
+# Filesystem-level faults (trigger on file appends).
+TORN_APPEND = "torn_append"  # durable watermark lands mid-record
+CORRUPT_APPEND = "corrupt_append"  # appended range lands on bad media
+CORRUPT_SST_BLOCK = "corrupt_sst_block"  # flip a block checksum in the SST payload
+
+DEVICE_KINDS = frozenset({READ_ERROR, WRITE_ERROR, LATENCY_SPIKE, STALL, CRASH})
+FS_KINDS = frozenset({TORN_APPEND, CORRUPT_APPEND, CORRUPT_SST_BLOCK})
+FAULT_KINDS = DEVICE_KINDS | FS_KINDS
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Trigger semantics: the spec arms on the first matching operation at
+    which ``at_time`` has passed (``engine.now >= at_time``) *and* the
+    matching-operation counter has reached ``at_op``.  Omitting a field
+    (None) waives that condition; a spec with neither is armed from the
+    start.  Once armed it fires on ``count`` consecutive matching
+    operations, then retires.  ``CRASH`` fires once, ignoring ``count``.
+    """
+
+    kind: str
+    at_time: Optional[int] = None  # virtual ns
+    at_op: Optional[int] = None  # 1-based matching-op count
+    path: Optional[str] = None  # path prefix filter (fs kinds only)
+    count: int = 1
+    extra_ns: int = 0  # added latency (latency_spike / stall)
+    transient: bool = True  # IOFaultError retryability (errors)
+    block: Optional[int] = None  # block index (corrupt_sst_block)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultConfigError(f"unknown fault kind {self.kind!r}")
+        if self.count < 1:
+            raise FaultConfigError(f"count must be >= 1, got {self.count}")
+        if self.at_op is not None and self.at_op < 1:
+            raise FaultConfigError(f"at_op is 1-based, got {self.at_op}")
+        if self.at_time is not None and self.at_time < 0:
+            raise FaultConfigError(f"at_time must be >= 0, got {self.at_time}")
+        if self.kind in (LATENCY_SPIKE, STALL) and self.extra_ns <= 0:
+            raise FaultConfigError(f"{self.kind} needs extra_ns > 0")
+        if self.path is not None and self.kind in DEVICE_KINDS:
+            raise FaultConfigError(f"{self.kind} is device-wide; path filter invalid")
+
+    def to_dict(self) -> dict:
+        """Dict form with defaulted fields elided (stable JSON)."""
+        out = {"kind": self.kind}
+        for key, value in asdict(self).items():
+            if key == "kind":
+                continue
+            default = type(self).__dataclass_fields__[key].default
+            if value != default:
+                out[key] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise FaultConfigError(f"bad fault spec {data!r}: {exc}") from exc
+
+
+@dataclass
+class FaultSchedule:
+    """An ordered list of :class:`FaultSpec`, JSON round-trippable."""
+
+    specs: List[FaultSpec] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def add(self, spec: FaultSpec) -> "FaultSchedule":
+        self.specs.append(spec)
+        return self
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps([s.to_dict() for s in self.specs], indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise FaultConfigError(f"unparseable schedule: {exc}") from exc
+        if not isinstance(data, list):
+            raise FaultConfigError("schedule JSON must be a list of specs")
+        return cls([FaultSpec.from_dict(d) for d in data])
+
+    def to_file(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+    @classmethod
+    def from_file(cls, path: str) -> "FaultSchedule":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    # -- seeded generation -------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        rng: RandomStream,
+        horizon_ns: int,
+        max_faults: int = 5,
+        kinds: Optional[Sequence[str]] = None,
+        wal_prefix: str = "wal/",
+        sst_prefix: str = "sst/",
+    ) -> "FaultSchedule":
+        """Draw a schedule from ``rng`` with triggers inside ``horizon_ns``.
+
+        Injected errors are always transient (retryable): non-transient
+        errors surface to the client as typed exceptions, which is a
+        different test shape than crash-consistency exploration.  Crash
+        points are the caller's business (DST adds its own), so ``CRASH``
+        is not drawn here.
+        """
+        if kinds is None:
+            kinds = (
+                READ_ERROR,
+                WRITE_ERROR,
+                LATENCY_SPIKE,
+                STALL,
+                TORN_APPEND,
+                CORRUPT_APPEND,
+            )
+        specs: List[FaultSpec] = []
+        for _ in range(rng.randint(1, max_faults)):
+            kind = kinds[rng.randint(0, len(kinds) - 1)]
+            at_time = rng.randint(horizon_ns // 20, horizon_ns)
+            if kind in (READ_ERROR, WRITE_ERROR):
+                specs.append(
+                    FaultSpec(kind, at_time=at_time, count=rng.randint(1, 2))
+                )
+            elif kind == LATENCY_SPIKE:
+                specs.append(
+                    FaultSpec(
+                        kind,
+                        at_time=at_time,
+                        count=rng.randint(1, 8),
+                        extra_ns=rng.randint(us(200), ms(5)),
+                    )
+                )
+            elif kind == STALL:
+                specs.append(
+                    FaultSpec(kind, at_time=at_time, extra_ns=rng.randint(ms(20), ms(200)))
+                )
+            elif kind == TORN_APPEND:
+                specs.append(FaultSpec(kind, at_time=at_time, path=wal_prefix))
+            else:  # CORRUPT_APPEND
+                path = wal_prefix if rng.chance(0.5) else sst_prefix
+                specs.append(FaultSpec(kind, at_time=at_time, path=path))
+        return cls(specs)

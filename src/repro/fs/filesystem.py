@@ -22,7 +22,9 @@ from repro.errors import (
     FileExistsInFS,
     FileNotFoundInFS,
     FileSystemError,
+    IOFaultError,
     OutOfSpaceError,
+    StaleFileError,
 )
 from repro.sim.engine import Engine, Event
 from repro.sim.stats import StatsSet
@@ -30,6 +32,26 @@ from repro.sim.units import MB
 from repro.storage.device import StorageDevice
 
 EXTENT_BYTES = 1 * MB
+
+
+class TornRecord:
+    """The partially durable tail record a crash can leave behind.
+
+    When power is lost while a record's bytes are only partly written back
+    (the durable watermark falls *inside* the record), the surviving prefix
+    is garbage to any reader: replay must detect it — via a checksum — and
+    truncate the log there.  ``original`` is the logical record the torn
+    bytes belonged to; ``durable_bytes`` is how much of it survived.
+    """
+
+    __slots__ = ("original", "durable_bytes")
+
+    def __init__(self, original: Any, durable_bytes: int) -> None:
+        self.original = original
+        self.durable_bytes = durable_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TornRecord {self.durable_bytes}B of {self.original!r}>"
 
 
 class SimFile:
@@ -55,11 +77,18 @@ class SimFile:
         self._flushed_size = 0  # bytes handed to the device (maybe in flight)
         self.extents: List[int] = []  # physical offset of each extent
         self.deleted = False
+        self.closed = False
         # Opaque owner state (e.g. parsed SST); survives "crash" only if the
         # owner re-derives it from synced records/content.
         self.payload: Any = None
         # (nbytes, record) appended entries, for WAL-style replay.
         self.records: List[Tuple[int, Any]] = []
+        # Byte ranges the device mangled (fault injection); empty on the
+        # happy path so readers only pay a truthiness check.
+        self.corrupt_ranges: List[Tuple[int, int]] = []
+        # Deferred writeback failure, surfaced at the next fsync (the
+        # kernel's EIO-on-fsync semantics).  Set only under fault injection.
+        self.pending_io_error: Optional[BaseException] = None
         self._pending_flushes: List[Event] = []
 
     # -- writes ---------------------------------------------------------------
@@ -103,15 +132,26 @@ class SimFile:
         return None
 
     def _start_flush(self) -> Optional[Event]:
-        """Kick off device writes for the dirty range; returns the last event."""
+        """Kick off device writes for the dirty range; returns the last event.
+
+        A device write fault is *deferred*: writeback is asynchronous, so the
+        error is remembered and surfaced at the next :meth:`sync` (the
+        kernel's EIO-on-fsync semantics).  The durable watermark does not
+        advance past the failed range; a later flush retries it.
+        """
         if self._flushed_size >= self.size:
             return self._pending_flushes[-1] if self._pending_flushes else None
         ev = None
-        for phys, nbytes in self.fs._physical_runs(
-            self, self._flushed_size, self.size - self._flushed_size
-        ):
-            ev = self.fs.device.write(phys, nbytes, sequential=True)
-            self._pending_flushes.append(ev)
+        try:
+            for phys, nbytes in self.fs._physical_runs(
+                self, self._flushed_size, self.size - self._flushed_size
+            ):
+                ev = self.fs.device.write(phys, nbytes, sequential=True)
+                self._pending_flushes.append(ev)
+        except IOFaultError as exc:
+            self.pending_io_error = exc
+            self.fs.stats.inc("writeback_errors")
+            return ev
         flushed_to = self.size
 
         def _mark(_ev: Event, size: int = flushed_to, f: "SimFile" = self) -> None:
@@ -124,13 +164,22 @@ class SimFile:
         return ev
 
     def sync(self):
-        """Generator: fsync — flush dirty bytes and wait for durability."""
+        """Generator: fsync — flush dirty bytes and wait for durability.
+
+        Raises the deferred :class:`IOFaultError` of a failed asynchronous
+        writeback (clearing it, so a retry can succeed once the fault
+        passes — callers own the retry policy).
+        """
         self._check_alive()
         self._start_flush()
         pending = [ev for ev in self._pending_flushes if not ev.triggered]
         self._pending_flushes = pending
         if pending:
             yield self.fs.engine.all_of(pending)
+        if self.pending_io_error is not None:
+            exc, self.pending_io_error = self.pending_io_error, None
+            self.fs.stats.inc("fsync_errors")
+            raise exc
         if self.size > self.synced_size:
             self.synced_size = self.size
         self.fs.stats.inc("fsyncs")
@@ -165,11 +214,36 @@ class SimFile:
             return events[0]
         return self.fs.engine.all_of(events)
 
+    # -- lifecycle & integrity -------------------------------------------------
+
+    def close(self) -> None:
+        """Drop the handle: further reads/appends raise :class:`StaleFileError`.
+
+        Closing is idempotent and purely a handle-state change — buffered
+        dirty bytes stay in the page cache and are written back (or lost at
+        crash) exactly as if the handle were still open.
+        """
+        self.closed = True
+
+    def mark_corrupt(self, offset: int, nbytes: int) -> None:
+        """Record that the device mangled [offset, offset+nbytes) (faults)."""
+        if nbytes > 0:
+            self.corrupt_ranges.append((offset, nbytes))
+
+    def is_corrupt(self, offset: int, nbytes: int) -> bool:
+        """True when the byte range overlaps a mangled range."""
+        for lo, ln in self.corrupt_ranges:
+            if offset < lo + ln and lo < offset + nbytes:
+                return True
+        return False
+
     # -- internals ------------------------------------------------------------
 
     def _check_alive(self) -> None:
         if self.deleted:
-            raise FileSystemError(f"file {self.path} was deleted")
+            raise StaleFileError(self.path, "deleted")
+        if self.closed:
+            raise StaleFileError(self.path, "closed")
 
 
 class SimFileSystem:
@@ -201,6 +275,10 @@ class SimFileSystem:
 
     # -- namespace -------------------------------------------------------------
 
+    #: Class of files this filesystem hands out; the fault-injection layer
+    #: (:mod:`repro.faults`) overrides this with a fault-aware subclass.
+    file_class = SimFile
+
     def create(
         self,
         path: str,
@@ -210,7 +288,7 @@ class SimFileSystem:
         """Create a new empty file (fails if it exists)."""
         if path in self._files:
             raise FileExistsInFS(path)
-        f = SimFile(
+        f = self.file_class(
             self,
             path,
             self._next_file_id,
@@ -278,20 +356,31 @@ class SimFileSystem:
 
         Every file is truncated to its durable watermark and its cached pages
         dropped; owners must rebuild state from ``records`` that fall below
-        the watermark.  All in-flight simulated work dies with the machine
-        (the engine's pending occurrences are cancelled).
+        the watermark.  When the watermark lands *inside* a record (a torn
+        write — only possible under fault injection, since normal writeback
+        advances the watermark at record granularity) the partial tail is
+        kept as a :class:`TornRecord`, which checksum-verifying replay must
+        detect and truncate.  All in-flight simulated work dies with the
+        machine (the engine's pending occurrences are cancelled).
         """
         self.engine.clear_pending()
         for f in self._files.values():
             f.size = f.synced_size
             f._flushed_size = min(f._flushed_size, f.size)
             f._pending_flushes.clear()
+            f.pending_io_error = None
             kept: List[Tuple[int, Any]] = []
             durable = 0
             for nbytes, record in f.records:
                 if durable + nbytes <= f.synced_size:
                     kept.append((nbytes, record))
                     durable += nbytes
+                else:
+                    torn = f.synced_size - durable
+                    if torn > 0:
+                        kept.append((torn, TornRecord(record, torn)))
+                        self.stats.inc("torn_records")
+                    break
             f.records = kept
             self.page_cache.invalidate_file(f.file_id)
         self.stats.inc("crashes")

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.errors import DBError
 from repro.lsm.format import KIND_DELETE
+from repro.lsm.io_retry import retry_call, retry_gen
 from repro.lsm.sst import SSTBuilder
 from repro.lsm.version import FileMetadata, Version, VersionEdit, VersionSet
 
@@ -173,6 +174,19 @@ class CompactionJob:
         self.compaction = compaction
         self.track = track
 
+    def _issue_reads(self, read_requests: List, pending_events: List):
+        """Generator: submit queued input reads, retrying transient faults."""
+        db = self.db
+        for meta, offset, nbytes in read_requests:
+            ev = yield from retry_call(
+                lambda m=meta, o=offset, n=nbytes: m.file.read(o, n, sequential=True),
+                db.stats,
+                "compaction.io_retries",
+            )
+            if ev is not None:
+                pending_events.append(ev)
+        read_requests.clear()
+
     def _is_bottommost(self) -> bool:
         """True if no deeper level overlaps this compaction's key range."""
         c = self.compaction
@@ -237,7 +251,7 @@ class CompactionJob:
                 bp = out_file.append(remaining)
                 if bp is not None:
                     yield bp
-            yield from out_file.sync()
+            yield from retry_gen(out_file.sync, db.stats, "compaction.io_retries")
             meta = FileMetadata(sst.number, sst, out_file, c.output_level)
             new_files.append(meta)
             builder, out_file = None, None
@@ -278,11 +292,7 @@ class CompactionJob:
                 if cpu_pending:
                     yield cpu_pending
                     cpu_pending = 0
-                for meta, offset, nbytes in read_requests:
-                    ev = meta.file.read(offset, nbytes, sequential=True)
-                    if ev is not None:
-                        pending_events.append(ev)
-                read_requests.clear()
+                yield from self._issue_reads(read_requests, pending_events)
                 if pending_events:
                     if len(pending_events) == 1:
                         yield pending_events[0]
@@ -295,11 +305,7 @@ class CompactionJob:
             cpu_pending += db.costs.compaction_entries(batch)
         if cpu_pending:
             yield cpu_pending
-        for meta, offset, nbytes in read_requests:
-            ev = meta.file.read(offset, nbytes, sequential=True)
-            if ev is not None:
-                pending_events.append(ev)
-        read_requests.clear()
+        yield from self._issue_reads(read_requests, pending_events)
         if pending_events:
             if len(pending_events) == 1:
                 yield pending_events[0]

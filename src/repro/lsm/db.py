@@ -37,12 +37,13 @@ from repro.lsm.compaction import CompactionJob, CompactionPicker
 from repro.lsm.costs import DEFAULT_COSTS, CostModel
 from repro.lsm.flush import FlushJob
 from repro.lsm.format import KIND_PUT, Entry
+from repro.lsm.io_retry import retry_call
 from repro.lsm.memtable import MemTable, MemTableList
 from repro.lsm.options import Options
 from repro.lsm.pipelined_write import ROLE_LEADER, WriteQueue, Writer
 from repro.lsm.value import Value, materialize
 from repro.lsm.version import FileMetadata, VersionSet
-from repro.lsm.wal import WalManager
+from repro.lsm.wal import WalManager, scan_log, truncate_log
 from repro.lsm.write_batch import WriteBatch
 from repro.lsm.write_controller import (
     DELAYED,
@@ -163,7 +164,14 @@ class DB:
         self.block_cache.erase_file(meta.number)
 
     def _replay_wal(self, pre_crash_logs: List[str]) -> None:
-        """Re-insert durable records of pre-crash logs into the memtable.
+        """Re-insert durable, checksum-valid records of pre-crash logs.
+
+        Each log is verified record by record and physically truncated at
+        its first bad record — a torn tail left by a mid-record crash, a
+        device-corrupted range, or a checksum mismatch.  Replay then stops
+        entirely (point-in-time recovery): records in later logs are newer
+        than the corruption point, so replaying them would resurrect writes
+        newer than lost ones.
 
         The old logs stay live (adopted by the WalManager) until the
         memtable holding their replayed records reaches Level 0, so a second
@@ -171,11 +179,22 @@ class DB:
         """
         count = 0
         min_old = None
-        for path in pre_crash_logs:
+        stop = False
+        for path in sorted(pre_crash_logs):
             f = self._wal_fs.open(path)
             number = int(path.rsplit("/", 1)[-1].split(".")[0])
             min_old = number if min_old is None else min(min_old, number)
-            for _nbytes, group in f.records:
+            if stop:
+                truncate_log(f, [], 0)
+                self.stats.inc("recovery.wal_dropped_logs")
+                continue
+            good, good_bytes, bad = scan_log(f)
+            if bad:
+                truncate_log(f, good, good_bytes)
+                self.stats.inc("recovery.wal_bad_records", bad)
+                self.stats.inc("recovery.wal_truncated_logs")
+                stop = True
+            for group in good:
                 for key, entry in group:
                     self.memtables.mutable.add(key, entry)
                     self.versions.last_sequence = max(
@@ -455,10 +474,21 @@ class DB:
                 yield cpu
             cpu = 0
             offset, nbytes = sst.block_span(block_idx)
-            io_event = meta.file.read(offset, nbytes)
+            # Transient injected device faults are retried with backoff
+            # (RocksDB's retryable background errors); permanent ones
+            # propagate as IOFaultError to the caller.
+            io_event = yield from retry_call(
+                lambda: meta.file.read(offset, nbytes),
+                self.stats,
+                "get.io_retries",
+            )
             if io_event is not None:
                 yield io_event
                 self.stats.inc("get.block_device_reads")
+            # Verify-on-read: cheap truthiness guard keeps the fault-free
+            # hot path free of checksum work; paranoid mode always verifies.
+            if meta.file.corrupt_ranges or self.options.paranoid_checks:
+                sst.verify_block(block_idx, meta.file)
             cpu += costs.block_decode_ns
             self.block_cache.insert(cache_key, nbytes)
         return sst.find(key), cpu

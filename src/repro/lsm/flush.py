@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.errors import DBError
+from repro.lsm.io_retry import retry_gen
 from repro.lsm.sst import SSTBuilder
 from repro.lsm.version import FileMetadata, VersionEdit
 
@@ -75,7 +76,9 @@ class FlushJob:
             backpressure = f.append(chunk)
             if backpressure is not None:
                 yield backpressure
-        yield from f.sync()
+        # Writeback faults surface at fsync; transient ones are retried so
+        # an injected error burst degrades the flush instead of killing it.
+        yield from retry_gen(f.sync, db.stats, "flush.io_retries")
 
         meta = FileMetadata(number, sst, f, level=0)
         edit = VersionEdit().add_file(0, meta)

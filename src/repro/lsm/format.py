@@ -12,7 +12,9 @@ dropped when a compaction reaches the bottommost level.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from zlib import crc32
+
+from typing import Iterable, Optional, Tuple
 
 from repro.lsm.value import Value, value_size
 
@@ -20,6 +22,38 @@ KIND_DELETE = 0
 KIND_PUT = 1
 
 Entry = Tuple[int, int, Optional[Value]]  # (seq, kind, value)
+
+
+def entry_checksum(key: bytes, entry: Entry, crc: int = 0) -> int:
+    """Fold one (key, entry) pair into a CRC32 accumulator.
+
+    Covers everything the entry logically serializes to: key bytes, sequence
+    number, kind, and the value content (a :class:`~repro.lsm.value.ValueRef`
+    contributes its identity rather than its materialized bytes — the two are
+    in bijection, so detection power is the same).
+    """
+    seq, kind, value = entry
+    crc = crc32(key, crc)
+    crc = crc32(b"%d|%d" % (seq, kind), crc)
+    if value is None:
+        crc = crc32(b"~", crc)
+    elif value.__class__ is bytes:
+        crc = crc32(value, crc)
+    else:  # ValueRef or bytes-like
+        size = getattr(value, "size", None)
+        if size is not None:
+            crc = crc32(b"@%d:%d" % (getattr(value, "seed", 0), size), crc)
+        else:
+            crc = crc32(bytes(value), crc)
+    return crc
+
+
+def records_checksum(records: Iterable[Tuple[bytes, Entry]]) -> int:
+    """CRC32 over a sequence of (key, entry) pairs (WAL groups, SST blocks)."""
+    crc = 0
+    for key, entry in records:
+        crc = entry_checksum(key, entry, crc)
+    return crc
 
 
 def entry_value_size(entry: Entry) -> int:

@@ -1,0 +1,73 @@
+"""Bounded retry policy for transient device faults on store I/O paths.
+
+The fault-injection layer (:mod:`repro.faults`) surfaces device errors as
+:class:`~repro.errors.IOFaultError` with a ``transient`` flag.  RocksDB
+treats such background-I/O errors as retryable; these helpers give every
+store path (reads, flush fsyncs, compaction output syncs, manifest syncs)
+the same policy: exponential backoff in *simulated* time, a bounded number
+of attempts, and immediate propagation of permanent faults.
+
+Both helpers are generators meant to be driven with ``yield from`` inside a
+simulated process.  On the fault-free path they yield nothing, so they add
+no simulated time and no event-ordering change — experiment results without
+a fault schedule are bit-identical to a build without this module.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import IOFaultError
+from repro.sim.stats import StatsSet
+
+IO_RETRIES = 3
+IO_RETRY_BACKOFF_NS = 200_000  # first backoff; doubles per attempt
+
+
+def retry_call(
+    fn: Callable,
+    stats: Optional[StatsSet] = None,
+    counter: str = "io.retries",
+    attempts: int = IO_RETRIES,
+    backoff_ns: int = IO_RETRY_BACKOFF_NS,
+):
+    """Generator: call ``fn()``, retrying transient :class:`IOFaultError`.
+
+    Returns ``fn()``'s result.  Used for plain calls that may raise at
+    submit time (e.g. ``SimFile.read``).
+    """
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except IOFaultError as exc:
+            if stats is not None:
+                stats.inc(counter)
+            if not exc.transient or attempt >= attempts:
+                raise
+            yield backoff_ns << attempt
+            attempt += 1
+
+
+def retry_gen(
+    factory: Callable,
+    stats: Optional[StatsSet] = None,
+    counter: str = "io.retries",
+    attempts: int = IO_RETRIES,
+    backoff_ns: int = IO_RETRY_BACKOFF_NS,
+):
+    """Generator: drive ``factory()`` (a generator factory, e.g. ``f.sync``),
+    re-invoking it after transient :class:`IOFaultError` failures.
+    """
+    attempt = 0
+    while True:
+        try:
+            result = yield from factory()
+            return result
+        except IOFaultError as exc:
+            if stats is not None:
+                stats.inc(counter)
+            if not exc.transient or attempt >= attempts:
+                raise
+            yield backoff_ns << attempt
+            attempt += 1

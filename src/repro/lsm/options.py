@@ -53,6 +53,10 @@ class Options:
     block_size: int = 4 * KB
     block_cache_bytes: int = 8 * MB  # RocksDB's small default cache
     bloom_bits_per_key: int = 0  # 0 = no filter (RocksDB default)
+    # Verify SST block checksums on every device read (RocksDB's
+    # paranoid_checks).  Off by default: corruption checks then run only
+    # for files the fault layer has marked damaged.
+    paranoid_checks: bool = False
 
     # --- write path --------------------------------------------------------
     enable_pipelined_write: bool = True

@@ -17,9 +17,9 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import Iterator, List, Optional, Tuple
 
-from repro.errors import DBError
+from repro.errors import CorruptionError, DBError
 from repro.lsm.bloom import BloomFilter
-from repro.lsm.format import Entry, entry_file_bytes
+from repro.lsm.format import Entry, entry_checksum, entry_file_bytes
 
 
 class SSTable:
@@ -64,6 +64,12 @@ class SSTable:
             total += nbytes
         self._block_first = block_first
         self._block_offset = block_offset
+        # Per-block CRC32 of the logical content, computed lazily (the build
+        # path stays checksum-free; verification is a recovery/read-time
+        # concern).  ``_block_crc_tamper`` models on-media damage to the
+        # block metadata itself (fault injection XORs into it).
+        self._block_crcs: List[Optional[int]] = [None] * len(block_first)
+        self._block_crc_tamper: Optional[dict] = None
         self.data_bytes = total
         # Index/footer overhead: one handle per block plus per-key restarts.
         self.index_bytes = len(block_first) * 24 + len(keys) * 2
@@ -116,6 +122,58 @@ class SSTable:
         else:
             nbytes = self._block_offset[block_idx + 1] - offset
         return offset, max(1, nbytes)
+
+    # -- integrity ---------------------------------------------------------------
+
+    def _block_entry_range(self, block_idx: int) -> Tuple[int, int]:
+        first = self._block_first[block_idx]
+        if block_idx == len(self._block_first) - 1:
+            return first, len(self.keys)
+        return first, self._block_first[block_idx + 1]
+
+    def block_checksum(self, block_idx: int) -> int:
+        """Stored CRC32 of one data block's logical content (lazy)."""
+        if not 0 <= block_idx < len(self._block_first):
+            raise DBError(f"block index out of range: {block_idx}")
+        crc = self._block_crcs[block_idx]
+        if crc is None:
+            lo, hi = self._block_entry_range(block_idx)
+            crc = 0
+            for i in range(lo, hi):
+                crc = entry_checksum(self.keys[i], self.entries[i], crc)
+            self._block_crcs[block_idx] = crc
+        if self._block_crc_tamper:
+            crc ^= self._block_crc_tamper.get(block_idx, 0)
+        return crc
+
+    def corrupt_block_checksum(self, block_idx: int) -> None:
+        """Fault hook: damage the stored CRC of one block on 'media'."""
+        self.block_checksum(block_idx)  # materialize the true value first
+        if self._block_crc_tamper is None:
+            self._block_crc_tamper = {}
+        self._block_crc_tamper[block_idx] = self._block_crc_tamper.get(block_idx, 0) ^ 0x1
+
+    def verify_block(self, block_idx: int, file=None) -> None:
+        """Verify one data block after a read; raises :class:`CorruptionError`.
+
+        Two failure modes: the block's bytes overlap a device-mangled range
+        of the backing ``file``, or the stored block CRC no longer matches
+        the recomputed content checksum.
+        """
+        offset, nbytes = self.block_span(block_idx)
+        if file is not None and file.corrupt_ranges and file.is_corrupt(offset, nbytes):
+            raise CorruptionError(
+                f"SST #{self.number} block {block_idx} "
+                f"[{offset}, {offset + nbytes}) overlaps corrupted media"
+            )
+        lo, hi = self._block_entry_range(block_idx)
+        crc = 0
+        for i in range(lo, hi):
+            crc = entry_checksum(self.keys[i], self.entries[i], crc)
+        if crc != self.block_checksum(block_idx):
+            raise CorruptionError(
+                f"SST #{self.number} block {block_idx} checksum mismatch"
+            )
 
     def find(self, key: bytes) -> Optional[Entry]:
         """Exact-match lookup in the in-memory arrays (after block 'read')."""

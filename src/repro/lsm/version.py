@@ -19,7 +19,8 @@ from bisect import bisect_left, bisect_right
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import DBError
-from repro.fs.filesystem import SimFile, SimFileSystem
+from repro.fs.filesystem import SimFile, SimFileSystem, TornRecord
+from repro.lsm.io_retry import retry_gen
 from repro.lsm.options import Options
 from repro.lsm.sst import SSTable
 from repro.sim.stats import StatsSet
@@ -187,6 +188,9 @@ class VersionSet:
 
         Only records below the manifest's synced watermark survive a
         simulated crash, so the recovered state is exactly the durable one.
+        A torn or device-corrupted tail record (fault injection) truncates
+        the manifest there: edits past the first bad record are dropped,
+        never half-applied.
         """
         vs = cls.__new__(cls)
         vs.fs = fs
@@ -199,7 +203,22 @@ class VersionSet:
         vs.current = Version(options.num_levels)
         vs.current.refs += 1
         vs._files = {}
-        for _nbytes, edit in list(vs.manifest.records):
+        good = 0
+        offset = 0
+        for nbytes, edit in list(vs.manifest.records):
+            if isinstance(edit, TornRecord) or (
+                vs.manifest.corrupt_ranges
+                and vs.manifest.is_corrupt(offset, nbytes)
+            ):
+                vs.stats.inc("manifest_truncated_records",
+                             len(vs.manifest.records) - good)
+                vs.manifest.records = vs.manifest.records[:good]
+                vs.manifest.size = offset
+                vs.manifest.synced_size = min(vs.manifest.synced_size, offset)
+                vs.manifest._flushed_size = min(vs.manifest._flushed_size, offset)
+                break
+            offset += nbytes
+            good += 1
             for _level, meta in edit.added:
                 meta.refs = 0
                 meta.being_compacted = False
@@ -293,12 +312,14 @@ class VersionSet:
         """Generator: append + fsync the manifest record for ``edit``.
 
         The edit object rides along as the record payload so recovery can
-        replay the exact durable sequence of edits.
+        replay the exact durable sequence of edits.  Transient device faults
+        on the fsync are retried — losing a manifest sync would orphan the
+        just-installed files.
         """
         ev = self.manifest.append(edit.encoded_bytes(), record=edit)
         if ev is not None:
             yield ev
-        yield from self.manifest.sync()
+        yield from retry_gen(self.manifest.sync, self.stats, "manifest.io_retries")
 
     # -- derived state -----------------------------------------------------------------
 

@@ -23,14 +23,74 @@ survive a simulated crash).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.errors import DBError
-from repro.fs.filesystem import SimFile, SimFileSystem
+from repro.errors import DBError, IOFaultError
+from repro.fs.filesystem import SimFile, SimFileSystem, TornRecord
 from repro.lsm.costs import CostModel
-from repro.lsm.format import Entry, wal_record_bytes
+from repro.lsm.format import Entry, records_checksum, wal_record_bytes
+from repro.lsm.io_retry import retry_gen
 from repro.lsm.options import WAL_OFF, WAL_SYNC, Options
 from repro.sim.engine import Engine, Event
+
+
+class WalRecord:
+    """One group-commit log record: the (key, entry) payloads plus a CRC.
+
+    The checksum is computed over the logical record content at append time
+    and re-verified during replay, which is what lets recovery *detect* a
+    torn tail or a device-mangled range instead of resurrecting garbage.
+    """
+
+    __slots__ = ("entries", "crc")
+
+    def __init__(self, entries: List[Tuple[bytes, Entry]]) -> None:
+        self.entries = list(entries)
+        self.crc = records_checksum(self.entries)
+
+    def verify(self) -> bool:
+        return self.crc == records_checksum(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<WalRecord n={len(self.entries)} crc={self.crc:#010x}>"
+
+
+def scan_log(f: SimFile) -> Tuple[List[WalRecord], int, int]:
+    """Verify one log file; returns (good_records, good_bytes, bad_records).
+
+    Walks the durable records in order, accumulating byte offsets, and stops
+    at the first record that fails validation: a :class:`TornRecord` left by
+    a mid-record crash, a record overlapping a device-corrupted range, or a
+    checksum mismatch.  Everything from the first bad record on is dropped
+    (RocksDB's point-in-time / truncate-at-corruption recovery).
+    """
+    good: List[WalRecord] = []
+    offset = 0
+    bad = 0
+    total = len(f.records)
+    for idx, (nbytes, rec) in enumerate(f.records):
+        if (
+            isinstance(rec, TornRecord)
+            or not isinstance(rec, WalRecord)
+            or (f.corrupt_ranges and f.is_corrupt(offset, nbytes))
+            or not rec.verify()
+        ):
+            bad = total - idx
+            break
+        good.append(rec)
+        offset += nbytes
+    return good, offset, bad
+
+
+def truncate_log(f: SimFile, good_records: List[WalRecord], good_bytes: int) -> None:
+    """Physically truncate a log at its last good record."""
+    f.records = f.records[: len(good_records)]
+    f.size = good_bytes
+    f.synced_size = min(f.synced_size, good_bytes)
+    f._flushed_size = min(f._flushed_size, good_bytes)
 
 
 class WalManager:
@@ -118,7 +178,7 @@ class WalManager:
         # device; on byte-addressable NVM (tmpfs) that path is a bare
         # memcpy.  This is the per-write gap case study C removes.
         cpu += self.fs.device.profile.seq_write_base_ns // 2
-        backpressure = self.current.append(nbytes, record=list(records))
+        backpressure = self.current.append(nbytes, record=WalRecord(records))
         if self.options.wal_mode == WAL_SYNC:
             return cpu, self._sync_event()
         return cpu, backpressure
@@ -130,7 +190,16 @@ class WalManager:
         return ev
 
     def _sync_proc(self, ev: Event):
-        yield from self.current.sync()
+        # Transient device faults: retry the fsync with backoff (writeback
+        # re-issues the failed range).  Permanent faults — or exhausted
+        # retries — fail the waiting write group with the typed error
+        # instead of crashing the sync process.
+        f = self.current
+        try:
+            yield from retry_gen(f.sync)
+        except IOFaultError as exc:
+            ev.fail(exc)
+            return
         ev.succeed()
 
     def sync(self):
@@ -154,14 +223,48 @@ class WalManager:
         return list(self._live)
 
     @staticmethod
+    def recover_logs(
+        fs: SimFileSystem, dirname: str = "wal"
+    ) -> Tuple[List[Tuple[int, str, List[WalRecord]]], Dict[str, int]]:
+        """Verify and truncate every on-disk log; return the good groups.
+
+        Returns ``(logs, stats)`` where ``logs`` is a list of
+        ``(log_number, path, good_records)`` in log order and ``stats``
+        counts what validation dropped.  Each log is physically truncated at
+        its first bad record, and — mirroring RocksDB's point-in-time
+        recovery — replay stops entirely at the first corrupted log: records
+        in *later* logs are newer than the corruption point, so replaying
+        them would resurrect writes newer than lost ones.
+        """
+        logs: List[Tuple[int, str, List[WalRecord]]] = []
+        stats = {"bad_records": 0, "truncated_logs": 0, "dropped_logs": 0}
+        stop = False
+        for path in fs.list(prefix=f"{dirname}/"):
+            number = int(path.rsplit("/", 1)[-1].split(".")[0])
+            f = fs.open(path)
+            if stop:
+                stats["dropped_logs"] += 1
+                truncate_log(f, [], 0)
+                continue
+            good, good_bytes, bad = scan_log(f)
+            if bad:
+                stats["bad_records"] += bad
+                stats["truncated_logs"] += 1
+                truncate_log(f, good, good_bytes)
+                stop = True
+            logs.append((number, path, good))
+        return logs, stats
+
+    @staticmethod
     def replay(fs: SimFileSystem, dirname: str = "wal") -> Iterator[Tuple[bytes, Entry]]:
-        """Yield every durable (key, entry) from the on-disk logs, in order.
+        """Yield every durable, *checksum-valid* (key, entry), in order.
 
         Used after :meth:`SimFileSystem.crash` — only records under each
-        file's synced watermark remain.
+        file's synced watermark remain, and validation truncates each log
+        at its first torn or corrupted record.
         """
-        for path in fs.list(prefix=f"{dirname}/"):
-            f = fs.open(path)
-            for _nbytes, group in f.records:
+        logs, _stats = WalManager.recover_logs(fs, dirname)
+        for _number, _path, groups in logs:
+            for group in groups:
                 for key, entry in group:
                     yield key, entry

@@ -1,0 +1,92 @@
+"""Regression tests: I/O on deleted or closed SimFiles raises a typed error.
+
+Historically these paths raised bare asserts (or silently succeeded),
+which hid use-after-free bugs in compaction's input-file handling.  Now
+every access through a stale handle raises :class:`StaleFileError`, which
+is both a :class:`FileSystemError` and a :class:`DBError` so the DB's
+error paths can treat it uniformly.
+"""
+
+import pytest
+
+from repro.errors import DBError, FileSystemError, StaleFileError
+from repro.sim.units import kb
+from tests.conftest import make_fs, run_op
+
+
+@pytest.fixture
+def fs(engine):
+    return make_fs(engine)
+
+
+class TestDeletedFiles:
+    def _deleted_file(self, fs):
+        f = fs.create("victim")
+        f.append(kb(4))
+        fs.delete("victim")
+        return f
+
+    def test_read_raises(self, engine, fs):
+        f = self._deleted_file(fs)
+        with pytest.raises(StaleFileError, match="deleted"):
+            run_op(engine, f.read(0, 512))
+
+    def test_append_raises(self, fs):
+        f = self._deleted_file(fs)
+        with pytest.raises(StaleFileError, match="deleted"):
+            f.append(512)
+
+    def test_sync_raises(self, engine, fs):
+        f = self._deleted_file(fs)
+        with pytest.raises(StaleFileError, match="deleted"):
+            run_op(engine, f.sync())
+
+
+class TestClosedFiles:
+    def _closed_file(self, fs):
+        f = fs.create("done")
+        f.append(kb(4))
+        f.close()
+        return f
+
+    def test_read_raises(self, engine, fs):
+        f = self._closed_file(fs)
+        with pytest.raises(StaleFileError, match="closed"):
+            run_op(engine, f.read(0, 512))
+
+    def test_append_raises(self, fs):
+        f = self._closed_file(fs)
+        with pytest.raises(StaleFileError, match="closed"):
+            f.append(512)
+
+    def test_sync_raises(self, engine, fs):
+        f = self._closed_file(fs)
+        with pytest.raises(StaleFileError, match="closed"):
+            run_op(engine, f.sync())
+
+    def test_close_is_idempotent(self, fs):
+        f = fs.create("done")
+        f.close()
+        f.close()  # a second close is a no-op, not an error
+
+    def test_close_keeps_data_on_disk(self, fs):
+        """close() is a handle-state change, not a delete."""
+        f = fs.create("done")
+        f.append(kb(4))
+        f.close()
+        assert fs.exists("done")
+        assert fs.open("done").size == kb(4)
+
+
+class TestErrorTyping:
+    def test_stale_file_error_is_fs_and_db_error(self, fs):
+        f = fs.create("x")
+        fs.delete("x")
+        try:
+            f.append(1)
+        except StaleFileError as e:
+            assert isinstance(e, FileSystemError)
+            assert isinstance(e, DBError)
+            assert "x" in str(e)
+        else:
+            pytest.fail("append on deleted file did not raise")

@@ -1,17 +1,37 @@
-"""Crash-recovery tests: WAL replay, manifest replay, durability contract."""
+"""Crash-recovery tests: WAL replay, manifest replay, durability contract.
+
+The crash cases form a parametrized matrix — WAL mode x crash point x
+batch size — all asserting the same durability contract instead of
+ad-hoc per-scenario expectations:
+
+* recovered values are never wrong (correct-or-missing, no tearing);
+* survivors form a prefix of the write order (group commit is ordered,
+  writeback advances the durable watermark in record order);
+* in ``sync`` mode every acknowledged write survives (ack => fsync);
+* after a completed flush everything survives in every mode;
+* the recovered level structure satisfies its invariants.
+"""
 
 import pytest
 
+from repro.faults import FaultInjector, FaultSchedule, FaultSpec, FaultyDevice
+from repro.faults import FaultyFileSystem, TORN_APPEND
+from repro.fs.page_cache import PageCache
 from repro.lsm.db import DB
-from repro.lsm.options import WAL_OFF, WAL_SYNC
+from repro.lsm.options import WAL_BUFFERED, WAL_OFF, WAL_SYNC
 from repro.lsm.value import ValueRef
-from repro.sim.units import kb
+from repro.lsm.write_batch import WriteBatch
+from repro.sim.units import kb, mb
 from repro.storage.profiles import xpoint_ssd
 from tests.conftest import make_fs, run_op, tiny_options
 
 
 def key(i):
     return b"%010d" % i
+
+
+def val(i):
+    return b"val%06d" % i + b"x" * 56
 
 
 def build_db(engine, fs=None, **opts):
@@ -61,41 +81,97 @@ class TestCleanReopen:
         assert db2.versions.last_sequence > seq_before
 
 
-class TestCrash:
-    def test_synced_wal_survives_crash(self, engine):
+PRE_SYNC = "pre_sync"
+POST_SYNC_PRE_FLUSH = "post_sync_pre_flush"
+MID_FLUSH = "mid_flush"
+POST_FLUSH = "post_flush"
+
+CRASH_POINTS = (PRE_SYNC, POST_SYNC_PRE_FLUSH, MID_FLUSH, POST_FLUSH)
+N_KEYS = 96
+
+
+class TestCrashRecoveryMatrix:
+    """WAL mode x crash point x batch size, one shared durability contract."""
+
+    @pytest.mark.parametrize("batch", [1, 8], ids=["batch1", "batch8"])
+    @pytest.mark.parametrize("crash_point", CRASH_POINTS)
+    @pytest.mark.parametrize(
+        "wal_mode", [WAL_BUFFERED, WAL_SYNC], ids=["buffered", "sync"]
+    )
+    def test_recovered_state_is_consistent_prefix(
+        self, engine, wal_mode, crash_point, batch
+    ):
         fs = make_fs(engine, profile=xpoint_ssd())
-        db = DB(engine, fs, tiny_options(wal_mode=WAL_SYNC))
-        run_op(engine, db.put(key(1), b"durable"))
-        run_op(engine, db.close())
-        fs.crash()
-
-        db2 = reopen(engine, fs, wal_mode=WAL_SYNC)
-        assert run_op(engine, db2.get(key(1))) == b"durable"
-
-    def test_unsynced_buffered_wal_may_lose_tail(self, engine):
-        """Buffered WAL: un-writtenback records vanish at crash."""
-        db, fs = build_db(engine)  # buffered mode, 512 KB writeback
-        run_op(engine, db.put(key(1), b"tiny"))  # far below writeback threshold
-        fs.crash()
-        db2 = reopen(engine, fs)
-        assert run_op(engine, db2.get(key(1))) is None
-
-    def test_flushed_sst_survives_crash(self, engine):
-        db, fs = build_db(engine, write_buffer_size=kb(4))
+        opts = dict(wal_mode=wal_mode, write_buffer_size=kb(4))
+        db = DB(engine, fs, tiny_options(**opts))
+        acked = []
 
         def writer():
-            for i in range(200):
-                yield from db.put(key(i), ValueRef(i, 64))
+            for start in range(0, N_KEYS, batch):
+                group = list(range(start, min(start + batch, N_KEYS)))
+                wb = WriteBatch()
+                for i in group:
+                    wb.put(key(i), val(i))
+                yield from db.write(wb)
+                acked.extend(group)
 
-        run_op(engine, writer())
-        run_op(engine, db.flush_all())
-        run_op(engine, db.wait_idle())
+        if crash_point == MID_FLUSH:
+            # Step the scheduler until a background flush is in flight,
+            # then pull the plug under it.
+            proc = engine.process(writer(), name="writer")
+            proc.callbacks.append(lambda _ev: None)
+            while not proc.done:
+                nxt = engine.peek()
+                assert nxt is not None, "writer deadlocked"
+                engine.run(until=nxt)
+                if db._active_flushes > 0:
+                    break
+            if proc.exception is not None:
+                raise proc.exception
+        else:
+            run_op(engine, writer())
+            if crash_point == POST_SYNC_PRE_FLUSH:
+                run_op(engine, db.wal.sync())
+            elif crash_point == POST_FLUSH:
+                run_op(engine, db.flush_all())
+                run_op(engine, db.wait_idle())
         fs.crash()
 
-        db2 = reopen(engine, fs, write_buffer_size=kb(4))
-        for i in (0, 100, 199):
-            assert run_op(engine, db2.get(key(i))) == ValueRef(i, 64)
+        db2 = reopen(engine, fs, **opts)
+        observed = {}
 
+        def reader():
+            for i in range(N_KEYS):
+                got = yield from db2.get(key(i))
+                if got is not None:
+                    observed[i] = got
+
+        run_op(engine, reader())
+
+        # Correct-or-missing: a recovered value is never wrong or torn.
+        for i, got in observed.items():
+            assert got == val(i), f"key {i} recovered with wrong value"
+        # Prefix consistency: group commit is ordered and writeback advances
+        # the watermark in record order, so survivors are a write-order
+        # prefix (and batches are atomic: never a partial batch).
+        assert set(observed) == set(range(len(observed)))
+        if observed and batch > 1:
+            assert len(observed) % batch == 0, "partial batch survived"
+        # Acked durability: an fsynced ack is a promise.
+        if wal_mode == WAL_SYNC:
+            assert set(acked).issubset(set(observed))
+        # Everything before an explicit sync or completed flush survives
+        # in any mode.
+        if crash_point in (POST_SYNC_PRE_FLUSH, POST_FLUSH):
+            assert len(observed) == N_KEYS
+        # Structural integrity of the recovered version.
+        db2.versions.current.check_invariants()
+        for meta in db2.versions.current.all_files():
+            assert fs.exists(meta.file.path)
+            assert meta.file.size >= meta.sst.file_bytes
+
+
+class TestCrashSpecialCases:
     def test_double_crash_before_recovery_flush(self, engine):
         """Adopted pre-crash logs keep data alive across a second crash."""
         fs = make_fs(engine, profile=xpoint_ssd())
@@ -119,22 +195,45 @@ class TestCrash:
         db2 = DB(engine, fs, tiny_options(wal_mode=WAL_OFF))
         assert run_op(engine, db2.get(key(1))) is None
 
-    def test_crash_mid_stream_keeps_prefix_consistent(self, engine):
-        """After a crash, every visible key has a correct value (no tearing)."""
-        fs = make_fs(engine, profile=xpoint_ssd())
-        db = DB(engine, fs, tiny_options(wal_mode=WAL_SYNC, write_buffer_size=kb(4)))
 
-        def writer():
-            for i in range(150):
-                yield from db.put(key(i), ValueRef(i, 64))
+class TestTornWalTail:
+    def _faulty_fs(self, engine, schedule):
+        injector = FaultInjector(engine, schedule)
+        device = FaultyDevice(engine, xpoint_ssd(), injector)
+        return FaultyFileSystem(engine, device, PageCache(mb(16)), injector)
 
-        run_op(engine, writer())
+    def test_injected_torn_tail_is_detected_and_truncated(self, engine):
+        """A torn WAL record fails its checksum scan; recovery truncates
+        there and keeps the good prefix (the tentpole acceptance case)."""
+        # Tear the 5th WAL append: its durable watermark lands mid-record.
+        schedule = FaultSchedule(
+            [FaultSpec(TORN_APPEND, at_op=5, path="wal/")]
+        )
+        fs = self._faulty_fs(engine, schedule)
+        db = DB(engine, fs, tiny_options())  # buffered WAL: tear persists
+
+        for i in range(8):
+            run_op(engine, db.put(key(i), val(i)))
+        assert fs.stats.get("injected_torn_appends") == 1
         fs.crash()
-        db2 = DB(engine, fs, tiny_options(wal_mode=WAL_SYNC, write_buffer_size=kb(4)))
+        assert fs.stats.get("torn_records") == 1
 
-        def checker():
-            for i in range(150):
-                got = yield from db2.get(key(i))
-                assert got is None or got == ValueRef(i, 64)
+        db2 = DB(engine, fs, tiny_options())
+        assert db2.stats.get("recovery.wal_bad_records") >= 1
+        assert db2.stats.get("recovery.wal_truncated_logs") == 1
+        # Records 1..4 replay; the torn record 5 and everything after is gone.
+        for i in range(4):
+            assert run_op(engine, db2.get(key(i))) == val(i)
+        for i in range(4, 8):
+            assert run_op(engine, db2.get(key(i))) is None
 
-        run_op(engine, checker())
+    def test_torn_tail_without_faults_is_impossible(self, engine):
+        """Normal writeback never leaves a torn record at crash."""
+        fs = make_fs(engine, profile=xpoint_ssd())
+        db = DB(engine, fs, tiny_options(wal_mode=WAL_SYNC))
+        for i in range(8):
+            run_op(engine, db.put(key(i), val(i)))
+        fs.crash()
+        assert fs.stats.get("torn_records") == 0
+        db2 = DB(engine, fs, tiny_options(wal_mode=WAL_SYNC))
+        assert db2.stats.get("recovery.wal_bad_records") == 0
