@@ -15,6 +15,7 @@ import sys
 from typing import List, Optional
 
 from repro.dst.harness import DstConfig, DstResult, DstRun
+from repro.dst.storm import STORM_AUTO, STORM_KINDS, StormConfig, StormRun
 from repro.faults import FaultSchedule
 
 
@@ -43,6 +44,10 @@ def _config(args: argparse.Namespace, schedule: Optional[FaultSchedule]) -> DstC
 
 def _repro_line(args: argparse.Namespace, seed: int) -> str:
     parts = [f"python -m repro.dst --seed {seed}"]
+    if args.storm:
+        parts.append("--storm")
+        if args.storm_kind != STORM_AUTO:
+            parts.append(f"--storm-kind {args.storm_kind}")
     if args.ops != 300:
         parts.append(f"--ops {args.ops}")
     if args.keys != 40:
@@ -52,6 +57,63 @@ def _repro_line(args: argparse.Namespace, seed: int) -> str:
     if args.replay:
         parts.append(f"--replay {args.replay}")
     return " ".join(parts)
+
+
+def _storm_config(args: argparse.Namespace) -> StormConfig:
+    cfg = StormConfig(kind=args.storm_kind)
+    if args.ops != 300:
+        cfg.num_ops = args.ops
+    if args.keys != 40:
+        cfg.num_keys = args.keys
+    return cfg
+
+
+def _run_storm(args: argparse.Namespace, seeds: List[int]) -> int:
+    """The --storm main loop: degraded-mode/auto-resume sweeps."""
+    failures = 0
+    degraded_seeds = 0
+    for seed in seeds:
+        result = StormRun(seed, _storm_config(args)).run()
+        if args.selfcheck:
+            again = StormRun(seed, _storm_config(args)).run()
+            if again.events != result.events or again.verdict != result.verdict:
+                print(f"seed={seed} NONDETERMINISTIC: reruns diverge")
+                for a, b in zip(result.events, again.events):
+                    if a != b:
+                        print(f"  first : {a}\n  second: {b}")
+                        break
+                failures += 1
+                continue
+        if result.degraded_entries:
+            degraded_seeds += 1
+        quiesce = "never" if result.quiesce_ns < 0 else f"{result.quiesce_ns}ns"
+        print(
+            f"seed={seed} {result.verdict} kind={result.kind} "
+            f"acked={result.writes_acked}/{result.writes_issued} "
+            f"rejected={result.writes_rejected} "
+            f"degraded={result.degraded_entries} "
+            f"resumes={result.resume_successes} "
+            f"read_only={'y' if result.went_read_only else 'n'} "
+            f"quiesce={quiesce}"
+            + (" deterministic" if args.selfcheck else "")
+        )
+        if args.log:
+            for line in result.events:
+                print(f"  {line}")
+        if args.save:
+            with open(args.save, "w", encoding="utf-8") as fh:
+                fh.write(result.schedule_json + "\n")
+            print(f"  schedule saved to {args.save}")
+        if not result.ok:
+            failures += 1
+            print(f"  reason: {result.reason}")
+            print(f"  repro: {_repro_line(args, seed)}")
+    if len(seeds) > 1:
+        print(f"storm sweep: {degraded_seeds}/{len(seeds)} seeds entered degraded mode")
+        if degraded_seeds == 0:
+            print("  FAIL: no seed ever degraded — the storm is not storming")
+            failures += 1
+    return 1 if failures else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -85,7 +147,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="run each seed twice; fail unless event logs are byte-identical",
     )
+    parser.add_argument(
+        "--storm",
+        action="store_true",
+        help="storm-then-clear mode: degraded-mode entry, auto-resume, liveness",
+    )
+    parser.add_argument(
+        "--storm-kind",
+        choices=(STORM_AUTO,) + STORM_KINDS,
+        default=STORM_AUTO,
+        help="storm flavour: io faults, disk-full squeeze, both, or per-seed auto",
+    )
     args = parser.parse_args(argv)
+
+    if args.storm:
+        if args.replay:
+            raise SystemExit("--storm generates its own schedule; --replay invalid")
+        return _run_storm(args, _parse_seeds(args))
 
     schedule = FaultSchedule.from_file(args.replay) if args.replay else None
     failures = 0

@@ -46,7 +46,24 @@ class FileExistsInFS(FileSystemError):
 
 
 class OutOfSpaceError(FileSystemError):
-    """Raised when the simulated device has no free capacity left."""
+    """Raised when the device or a configured quota has no free capacity.
+
+    The simulated ENOSPC.  ``path`` names the file whose growth failed
+    (empty for quota-level checks), ``needed_bytes``/``free_bytes``
+    describe the shortfall when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        path: str = "",
+        needed_bytes: int = 0,
+        free_bytes: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.needed_bytes = needed_bytes
+        self.free_bytes = free_bytes
 
 
 class DBError(ReproError):
@@ -73,6 +90,23 @@ class FaultConfigError(ReproError):
 
 class DBClosedError(DBError):
     """Raised when an operation is attempted on a closed database."""
+
+
+class DBReadOnlyError(DBError):
+    """Raised for foreground writes while the DB is degraded read-only.
+
+    A hard or fatal background error (see
+    :mod:`repro.lsm.error_handler`) puts the store into read-only mode:
+    reads keep working, writes fail fast with this typed error.
+    ``severity`` is ``"hard"`` or ``"fatal"``; ``source`` names the
+    background path that failed (``flush``/``compaction``/``wal``/
+    ``manifest``).
+    """
+
+    def __init__(self, message: str, severity: str = "", source: str = "") -> None:
+        super().__init__(message)
+        self.severity = severity
+        self.source = source
 
 
 class CorruptionError(DBError):

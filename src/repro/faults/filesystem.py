@@ -48,6 +48,7 @@ class FaultyFileSystem(SimFileSystem):
         injector: Optional[FaultInjector] = None,
         writeback_bytes: int = 256 * 1024,
         dirty_limit_bytes: int = 1024 * 1024,
+        quota_bytes=None,
     ) -> None:
         super().__init__(
             engine,
@@ -55,5 +56,6 @@ class FaultyFileSystem(SimFileSystem):
             page_cache,
             writeback_bytes=writeback_bytes,
             dirty_limit_bytes=dirty_limit_bytes,
+            quota_bytes=quota_bytes,
         )
         self.injector = injector

@@ -153,6 +153,9 @@ class FaultInjector:
             if state.retired:
                 continue
             spec = state.spec
+            if spec.until_time is not None and now > spec.until_time:
+                state.retired = True  # storm window closed
+                continue
             if spec.kind == READ_ERROR and op != "read":
                 continue
             if spec.kind == WRITE_ERROR and op != "write":
@@ -197,6 +200,9 @@ class FaultInjector:
             if state.retired:
                 continue
             spec = state.spec
+            if spec.until_time is not None and now > spec.until_time:
+                state.retired = True  # storm window closed
+                continue
             if spec.path is not None and not file.path.startswith(spec.path):
                 continue
             state.matched += 1

@@ -51,7 +51,10 @@ class FaultSpec:
     matching-operation counter has reached ``at_op``.  Omitting a field
     (None) waives that condition; a spec with neither is armed from the
     start.  Once armed it fires on ``count`` consecutive matching
-    operations, then retires.  ``CRASH`` fires once, ignoring ``count``.
+    operations, then retires.  ``until_time`` bounds the spec to a
+    window: once ``engine.now`` passes it the spec retires even with
+    ``count`` remaining (a fault *storm* is a window plus a large
+    count).  ``CRASH`` fires once, ignoring ``count``.
     """
 
     kind: str
@@ -62,6 +65,7 @@ class FaultSpec:
     extra_ns: int = 0  # added latency (latency_spike / stall)
     transient: bool = True  # IOFaultError retryability (errors)
     block: Optional[int] = None  # block index (corrupt_sst_block)
+    until_time: Optional[int] = None  # retire after this virtual ns (storm window)
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -74,6 +78,15 @@ class FaultSpec:
             raise FaultConfigError(f"at_time must be >= 0, got {self.at_time}")
         if self.kind in (LATENCY_SPIKE, STALL) and self.extra_ns <= 0:
             raise FaultConfigError(f"{self.kind} needs extra_ns > 0")
+        if self.until_time is not None:
+            if self.until_time < 0:
+                raise FaultConfigError(
+                    f"until_time must be >= 0, got {self.until_time}"
+                )
+            if self.at_time is not None and self.until_time <= self.at_time:
+                raise FaultConfigError(
+                    f"until_time {self.until_time} must exceed at_time {self.at_time}"
+                )
         if self.path is not None and self.kind in DEVICE_KINDS:
             raise FaultConfigError(f"{self.kind} is device-wide; path filter invalid")
 

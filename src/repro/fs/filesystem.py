@@ -105,11 +105,13 @@ class SimFile:
         self._check_alive()
         if nbytes <= 0:
             raise FileSystemError(f"append size must be positive: {nbytes}")
+        # Allocate extents (and hit any quota) *before* mutating the file,
+        # so a failed append (ENOSPC) leaves size/records untouched.
+        self.fs._ensure_extents(self, self.size + nbytes)
         offset = self.size
         self.size += nbytes
         if record is not None:
             self.records.append((nbytes, record))
-        self.fs._ensure_extents(self)
         self.fs.page_cache.fill(self.file_id, offset, nbytes)
         self.fs.stats.inc("bytes_appended", nbytes)
 
@@ -256,6 +258,7 @@ class SimFileSystem:
         page_cache,
         writeback_bytes: int = 256 * 1024,
         dirty_limit_bytes: int = 1 * MB,
+        quota_bytes: Optional[int] = None,
     ) -> None:
         from repro.fs.page_cache import PageCache  # local import to avoid cycle
 
@@ -272,6 +275,39 @@ class SimFileSystem:
         self._next_extent = 0
         self._free_extents: List[int] = []
         self._extent_count = device.profile.capacity_bytes // EXTENT_BYTES
+        self._used_extents = 0
+        # Optional byte quota (the mounted partition being smaller than the
+        # device).  ``None`` = unlimited; allocation then only hits the
+        # device capacity limit, exactly as before quotas existed.
+        self.quota_bytes = quota_bytes
+
+    # -- capacity ---------------------------------------------------------------
+
+    def set_quota(self, quota_bytes: Optional[int]) -> None:
+        """Set or clear (``None``) the byte quota.
+
+        Shrinking the quota below current usage does not fail existing
+        files — it makes the next allocation raise
+        :class:`~repro.errors.OutOfSpaceError`, like filling a real disk.
+        """
+        if quota_bytes is not None and quota_bytes < 0:
+            raise FileSystemError(f"quota_bytes must be >= 0: {quota_bytes}")
+        self.quota_bytes = quota_bytes
+
+    def capacity_bytes(self) -> int:
+        """Usable capacity: the quota if set, else the device size."""
+        device_bytes = self._extent_count * EXTENT_BYTES
+        if self.quota_bytes is None:
+            return device_bytes
+        return min(self.quota_bytes, device_bytes)
+
+    def used_bytes(self) -> int:
+        """Bytes consumed by allocated extents (allocation granularity)."""
+        return self._used_extents * EXTENT_BYTES
+
+    def free_bytes(self) -> int:
+        """Bytes still allocatable before ENOSPC."""
+        return max(0, self.capacity_bytes() - self.used_bytes())
 
     # -- namespace -------------------------------------------------------------
 
@@ -285,9 +321,20 @@ class SimFileSystem:
         writeback_bytes: Optional[int] = None,
         dirty_limit_bytes: Optional[int] = None,
     ) -> SimFile:
-        """Create a new empty file (fails if it exists)."""
+        """Create a new empty file (fails if it exists).
+
+        With a quota configured and no free space left, creation raises
+        :class:`~repro.errors.OutOfSpaceError` (ENOSPC on ``open(O_CREAT)``).
+        """
         if path in self._files:
             raise FileExistsInFS(path)
+        if self.quota_bytes is not None and self.free_bytes() <= 0:
+            self.stats.inc("quota_enospc")
+            raise OutOfSpaceError(
+                f"cannot create {path}: quota exhausted "
+                f"({self.used_bytes()}/{self.capacity_bytes()} bytes used)",
+                path=path,
+            )
         f = self.file_class(
             self,
             path,
@@ -321,6 +368,7 @@ class SimFileSystem:
         self.page_cache.invalidate_file(f.file_id)
         for phys in f.extents:
             self._free_extents.append(phys)
+            self._used_extents -= 1
             self.device.trim(phys, EXTENT_BYTES)
         f.extents.clear()
         self.stats.inc("files_deleted")
@@ -334,10 +382,10 @@ class SimFileSystem:
         (the dataset starts cold, as after a reboot).
         """
         f = self.create(path)
+        self._ensure_extents(f, nbytes)
         f.size = nbytes
         f.synced_size = nbytes
         f._flushed_size = nbytes
-        self._ensure_extents(f)
         return f
 
     def rename(self, old: str, new: str) -> None:
@@ -387,20 +435,43 @@ class SimFileSystem:
 
     # -- allocation ---------------------------------------------------------------
 
-    def _ensure_extents(self, f: SimFile) -> None:
-        needed = (f.size + EXTENT_BYTES - 1) // EXTENT_BYTES
-        while len(f.extents) < needed:
+    def _ensure_extents(self, f: SimFile, size: Optional[int] = None) -> None:
+        size = f.size if size is None else size
+        needed = (size + EXTENT_BYTES - 1) // EXTENT_BYTES
+        grow = needed - len(f.extents)
+        if grow <= 0:
+            return
+        # Check the whole shortfall before allocating anything: a failed
+        # growth must not consume quota or strand half of its extents.
+        if (
+            self.quota_bytes is not None
+            and (self._used_extents + grow) * EXTENT_BYTES > self.quota_bytes
+        ):
+            self.stats.inc("quota_enospc")
+            raise OutOfSpaceError(
+                f"quota exhausted growing {f.path}: "
+                f"{self.used_bytes()} used of {self.quota_bytes} allowed, "
+                f"{grow * EXTENT_BYTES} more needed",
+                path=f.path,
+                needed_bytes=grow * EXTENT_BYTES,
+                free_bytes=self.free_bytes(),
+            )
+        available = len(self._free_extents) + (self._extent_count - self._next_extent)
+        if grow > available:
+            raise OutOfSpaceError(
+                f"device {self.device.profile.name} is full "
+                f"({self._extent_count} extents)",
+                path=f.path,
+                needed_bytes=grow * EXTENT_BYTES,
+            )
+        for _ in range(grow):
             if self._free_extents:
                 phys = self._free_extents.pop()
             else:
-                if self._next_extent >= self._extent_count:
-                    raise OutOfSpaceError(
-                        f"device {self.device.profile.name} is full "
-                        f"({self._extent_count} extents)"
-                    )
                 phys = self._next_extent * EXTENT_BYTES
                 self._next_extent += 1
             f.extents.append(phys)
+            self._used_extents += 1
 
     def _physical_runs(self, f: SimFile, offset: int, nbytes: int):
         """Map a logical byte range to (physical_offset, nbytes) runs."""

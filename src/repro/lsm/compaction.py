@@ -200,7 +200,33 @@ class CompactionJob:
         return True
 
     def run(self):
-        """Generator: merge inputs, write outputs, install the edit."""
+        """Generator: merge inputs, write outputs, install the edit.
+
+        On failure, partial (uninstalled) output files are deleted and the
+        inputs are un-marked so the picker can retry later.  A failure
+        tagged ``bg_source == "manifest"`` happened *after* the edit was
+        applied: the outputs are live files then and must stay on disk.
+        """
+        c = self.compaction
+        self._created_paths: List[str] = []
+        try:
+            result = yield from self._merge_and_install()
+            return result
+        except GeneratorExit:
+            # The job was abandoned (simulation teardown), not failed: no
+            # cleanup, no trace events — the world is being discarded.
+            raise
+        except BaseException as exc:
+            db = self.db
+            if getattr(exc, "bg_source", "") != "manifest":
+                for path in self._created_paths:
+                    if db.fs.exists(path):
+                        db.fs.delete(path)
+            c.mark(False)
+            db.engine.tracer.span_end(self.track, {"error": type(exc).__name__})
+            raise
+
+    def _merge_and_install(self):
         db = self.db
         c = self.compaction
         opts = db.options
@@ -236,6 +262,7 @@ class CompactionJob:
             number = db.versions.new_file_number()
             builder = SSTBuilder(number, opts.block_size, opts.bloom_bits_per_key)
             out_file = db.fs.create(f"sst/{number:06d}.sst")
+            self._created_paths.append(out_file.path)
             appended = 0
 
         def finish_output_steps():

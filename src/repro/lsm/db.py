@@ -30,17 +30,25 @@ from __future__ import annotations
 import zlib
 from typing import Iterator, List, Optional, Tuple
 
-from repro.errors import DBClosedError, DBError
+from repro.errors import (
+    CorruptionError,
+    DBClosedError,
+    DBError,
+    IOFaultError,
+    OutOfSpaceError,
+)
 from repro.fs.filesystem import SimFileSystem
 from repro.lsm.block_cache import BlockCache
 from repro.lsm.compaction import CompactionJob, CompactionPicker
 from repro.lsm.costs import DEFAULT_COSTS, CostModel
+from repro.lsm.error_handler import SEV_SOFT, ErrorHandler
 from repro.lsm.flush import FlushJob
 from repro.lsm.format import KIND_PUT, Entry
 from repro.lsm.io_retry import retry_call
 from repro.lsm.memtable import MemTable, MemTableList
 from repro.lsm.options import Options
 from repro.lsm.pipelined_write import ROLE_LEADER, WriteQueue, Writer
+from repro.lsm.sst_file_manager import SstFileManager
 from repro.lsm.value import Value, materialize
 from repro.lsm.version import FileMetadata, VersionSet
 from repro.lsm.wal import WalManager, scan_log, truncate_log
@@ -113,6 +121,17 @@ class DB:
             self._replay_wal(pre_crash_logs)
 
         self.controller = controller or WriteController(engine, self.options)
+        # Background-error state machine + space tracking (repro.lsm.
+        # error_handler).  The SstFileManager routes physical file deletion
+        # so obsolete files are only removed once the manifest edit that
+        # obsoleted them is durable.
+        self.error_handler = ErrorHandler(self)
+        self.sst_file_manager = SstFileManager(fs, self.options)
+        self.sst_file_manager.bind(self.versions)
+        self.versions.file_deleter = self.sst_file_manager.delete_file
+        self.versions.on_manifest_clean = (
+            self.sst_file_manager.flush_pending_deletions
+        )
         # One writer queue by default (RocksDB); optionally sharded per the
         # paper's Section VI implication on write-queue parallelism.
         self.write_queues = [
@@ -257,12 +276,16 @@ class DB:
         self._check_open()
         if not batch.ops:
             return 0
+        if self.error_handler.severity:
+            self.error_handler.check_writable()  # hard/fatal -> read-only
         start = self.engine.now
 
         # --- Algorithm 1: the write control process -------------------------
         while self.controller.state == STOPPED:
             self.stats.inc("stall.stops_hit")
             yield self.controller.stop_wait_event()
+            if self.error_handler.severity:
+                self.error_handler.check_writable()
         if self.controller.state == DELAYED:
             self.controller.on_delayed_write(self._backlog_bytes())
             delay = self.controller.get_delay(batch.data_bytes)
@@ -273,6 +296,8 @@ class DB:
             while self.controller.state == STOPPED:
                 self.stats.inc("stall.stops_hit")
                 yield self.controller.stop_wait_event()
+                if self.error_handler.severity:
+                    self.error_handler.check_writable()
 
         # --- Algorithm 2: the pipelined write process -------------------------
         writer = Writer(list(batch.ops), batch.data_bytes, self.engine.event())
@@ -306,41 +331,54 @@ class DB:
         """Leader duties: group formation, memtable switch, WAL, fan-out."""
         group_start = self.engine.now
         group = leader.queue.form_group(leader)
-        cpu = (
-            self.costs.write_group_leader_ns
-            + self.costs.write_group_per_writer_ns * len(group)
-        )
+        try:
+            cpu = (
+                self.costs.write_group_leader_ns
+                + self.costs.write_group_per_writer_ns * len(group)
+            )
 
-        # Switch the memtable between groups, never inside one (keeps the
-        # WAL/memtable correspondence crash-safe).
-        if (
-            self.memtables.mutable.charged_bytes
-            >= self.options.write_buffer_size
-        ):
-            yield from self._switch_memtable()
+            # Switch the memtable between groups, never inside one (keeps
+            # the WAL/memtable correspondence crash-safe).
+            if (
+                self.memtables.mutable.charged_bytes
+                >= self.options.write_buffer_size
+            ):
+                yield from self._switch_memtable()
 
-        # Assign sequence numbers in queue order.
-        seq = self.versions.last_sequence
-        wal_records: List[Tuple[bytes, Entry]] = []
-        for writer in group.writers:
-            entries: List[Tuple[bytes, Entry]] = []
-            for kind, key, value in writer.records:
-                seq += 1
-                entry: Entry = (seq, kind, value if kind == KIND_PUT else None)
-                entries.append((key, entry))
-            writer.records = entries  # now (key, entry) pairs
-            wal_records.extend(entries)
-        self.versions.last_sequence = seq
+            # Assign sequence numbers in queue order.
+            seq = self.versions.last_sequence
+            wal_records: List[Tuple[bytes, Entry]] = []
+            for writer in group.writers:
+                entries: List[Tuple[bytes, Entry]] = []
+                for kind, key, value in writer.records:
+                    seq += 1
+                    entry: Entry = (seq, kind, value if kind == KIND_PUT else None)
+                    entries.append((key, entry))
+                writer.records = entries  # now (key, entry) pairs
+                wal_records.extend(entries)
+            self.versions.last_sequence = seq
 
-        wal_number = self.wal.current_number
-        for writer in group.writers:
-            writer.wal_number = wal_number
-        wal_cpu, wal_event = self.wal.add_group(wal_records)
-        total_cpu = cpu + wal_cpu
-        if total_cpu:
-            yield total_cpu
-        if wal_event is not None:
-            yield wal_event
+            wal_number = self.wal.current_number
+            for writer in group.writers:
+                writer.wal_number = wal_number
+            wal_cpu, wal_event = self.wal.add_group(wal_records)
+            total_cpu = cpu + wal_cpu
+            if total_cpu:
+                yield total_cpu
+            if wal_event is not None:
+                yield wal_event
+        except GeneratorExit:
+            # The writer was abandoned (simulation teardown): its members
+            # are being discarded too — no fail fan-out, no events.
+            raise
+        except BaseException as exc:
+            # The group never reaches the memtable phase: fail the waiting
+            # members (they re-raise from their own write()) and hand
+            # leadership to the next writer, else the queue hangs forever.
+            leader.queue.fail_group(group, exc)
+            if isinstance(exc, (IOFaultError, OutOfSpaceError)):
+                self.error_handler.on_background_error("wal", exc)
+            raise
 
         leader.queue.wal_phase_done(group)
         yield from self._memtable_phase(leader)
@@ -370,11 +408,18 @@ class DB:
             self._update_stall_state()
             if self.controller.state != STOPPED:
                 break  # a flush finished in between
+            if self.error_handler.severity:
+                self.error_handler.check_writable()
             self.stats.inc("stall.memtable_stops")
             yield self.controller.stop_wait_event()
         sealed = self.memtables.switch()
         if self.wal.enabled:
-            self.wal.roll(self.versions.new_file_number())
+            try:
+                self.wal.roll(self.versions.new_file_number())
+            except (IOFaultError, OutOfSpaceError) as exc:
+                # Could not create the next log file: keep appending to the
+                # current one (correct, just a bigger log) and degrade.
+                self.error_handler.on_background_error("wal", exc)
             self.memtables.mutable.min_log_number = self.wal.current_number
         self._flush_store.put(sealed)
         self.stats.inc("memtable.switches")
@@ -576,9 +621,22 @@ class DB:
             item = yield self._flush_store.get()
             if item is _CLOSE:
                 return
+            if item not in self.memtables.immutables:
+                continue  # already flushed (an auto-resume retry won)
+            if self.error_handler.severity:
+                # Degraded: leave the memtable for the resume process,
+                # which retries with backoff instead of hammering a
+                # failing device.
+                continue
             self._active_flushes += 1
             job = FlushJob(self, item, track=track)
-            yield from job.run()
+            try:
+                yield from job.run()
+            except (IOFaultError, OutOfSpaceError, CorruptionError) as exc:
+                self._active_flushes -= 1
+                self.error_handler.note_flush_failure(item, exc)
+                self._update_stall_state()
+                continue
             if item in self.memtables.immutables:
                 self.memtables.immutables.remove(item)
             self._active_flushes -= 1
@@ -594,14 +652,40 @@ class DB:
             if token is _CLOSE:
                 return
             while not self._closed:
+                if self.error_handler.severity:
+                    break  # degraded: the resume process owns retries
                 compaction = self.picker.pick(self.versions)
                 if compaction is None:
+                    break
+                if not self.sst_file_manager.try_reserve_compaction(
+                    compaction.input_bytes
+                ):
+                    # Not enough free space for the outputs: fail soft now
+                    # rather than hard ENOSPC halfway through the merge.
+                    compaction.mark(False)
+                    self.error_handler.on_background_error(
+                        "compaction",
+                        OutOfSpaceError(
+                            "no room for compaction outputs",
+                            needed_bytes=compaction.input_bytes,
+                            free_bytes=self.fs.free_bytes(),
+                        ),
+                    )
                     break
                 self._active_compactions += 1
                 self._update_stall_state()
                 job = CompactionJob(self, compaction, track=track)
-                yield from job.run()
-                self._active_compactions -= 1
+                try:
+                    yield from job.run()
+                except (IOFaultError, OutOfSpaceError, CorruptionError) as exc:
+                    self.error_handler.on_background_error(
+                        getattr(exc, "bg_source", "compaction"), exc
+                    )
+                finally:
+                    self.sst_file_manager.release_compaction(
+                        compaction.input_bytes
+                    )
+                    self._active_compactions -= 1
                 self._update_stall_state()
                 # Another worker may be able to run a non-conflicting pick.
                 self._maybe_schedule_compaction()
@@ -617,6 +701,11 @@ class DB:
 
     def _release_obsolete_wals(self) -> None:
         if not self.wal.enabled:
+            return
+        if self.versions.manifest_dirty:
+            # The manifest edit that made these logs obsolete is not
+            # durable yet: a crash now would recover from the old manifest
+            # and still need them for replay.  Retried after resync.
             return
         live = [
             getattr(t, "min_log_number", 0)
@@ -636,6 +725,19 @@ class DB:
         )
 
     def _update_stall_state(self) -> None:
+        # Degraded conditions outside Algorithm 1's metrics floor the
+        # controller at DELAYED: a soft background error (resume is
+        # retrying) or the filesystem running low on quota space.
+        floor = NORMAL
+        if (
+            self.error_handler.severity == SEV_SOFT
+            or self.sst_file_manager.low_on_space()
+        ):
+            floor = DELAYED
+        if floor != self.controller.floor:
+            self.controller.floor = floor
+            if floor == DELAYED:
+                self.stats.inc("stall.floor_raised")
         before = self.controller.state
         self.controller.update(self._stall_metrics())
         after = self.controller.state
@@ -652,18 +754,40 @@ class DB:
 
     # ---------------------------------------------------------------- utilities
 
+    def _check_background_errors(self) -> None:
+        """Raise instead of letting a foreground waiter poll forever.
+
+        A background worker that died with an unhandled exception, or a
+        fatal degraded state, means the condition being waited on can
+        never clear — re-raise the stored error in the waiter.
+        """
+        for proc in self._workers:
+            if proc.done and proc.exception is not None:
+                raise DBError(
+                    f"background worker {proc.name!r} died: {proc.exception!r}"
+                ) from proc.exception
+        self.error_handler.raise_stored_error()
+
     def flush_all(self):
         """Generator: seal the mutable memtable and wait until L0 has it."""
         self._check_open()
         if not self.memtables.mutable.is_empty():
             yield from self._switch_memtable()
         while self.memtables.immutables:
+            self._check_background_errors()
             yield 100_000  # poll: background flush is draining
         return None
 
-    def wait_idle(self, poll_ns: int = 1_000_000):
-        """Generator: wait until flushes and compactions quiesce."""
+    def wait_idle(self, poll_ns: int = 1_000_000, timeout_ns: Optional[int] = None):
+        """Generator: wait until flushes and compactions quiesce.
+
+        With ``timeout_ns`` set, raises :class:`DBError` if background
+        work has not drained after that much virtual time (bounded waits
+        for tests and harnesses instead of a silent infinite poll).
+        """
+        deadline = None if timeout_ns is None else self.engine.now + timeout_ns
         while True:
+            self._check_background_errors()
             busy = (
                 self.memtables.immutables
                 or self._active_flushes
@@ -673,6 +797,14 @@ class DB:
             )
             if not busy:
                 return None
+            if deadline is not None and self.engine.now >= deadline:
+                raise DBError(
+                    f"wait_idle timed out after {timeout_ns}ns "
+                    f"(immutables={len(self.memtables.immutables)}, "
+                    f"active_flushes={self._active_flushes}, "
+                    f"active_compactions={self._active_compactions}, "
+                    f"severity={self.error_handler.severity or 'none'})"
+                )
             yield poll_ns
 
     def level_shape(self) -> List[int]:
@@ -760,6 +892,13 @@ class DB:
             f"delays hit: {self.stats.get('stall.delays_hit')}  "
             f"stops hit: {self.stats.get('stall.stops_hit')}",
         ]
+        if self.error_handler.severity:
+            err = self.error_handler.error
+            lines.append(
+                f"degraded: {self.error_handler.severity} "
+                f"(source {err.source if err else '?'}, "
+                f"resume attempts {self.error_handler.resume_attempts})"
+            )
         return "\n".join(lines)
 
     def property_value(self, name: str) -> float:
@@ -775,4 +914,8 @@ class DB:
             return float(len(self.memtables.immutables))
         if name == "cur-size-active-mem-table":
             return float(self.memtables.mutable.charged_bytes)
+        if name == "is-read-only":
+            return 1.0 if self.error_handler.is_read_only else 0.0
+        if name == "background-errors":
+            return float(self.stats.get("bg_error.raised"))
         raise DBError(f"unknown property {name!r}")

@@ -35,17 +35,46 @@ class FlushJob:
         self.db = db
         self.memtable = memtable
         self.track = track
+        self._path: "str | None" = None  # output path once created
 
     def run(self):
-        """Generator: perform the flush; returns the new FileMetadata."""
+        """Generator: perform the flush; returns the new FileMetadata.
+
+        On failure the partial output file is deleted (the error handler
+        retries with a fresh file number) — unless the failure is tagged
+        ``bg_source == "manifest"``, which happens *after* the SST is
+        installed: then the file is live and must stay.
+        """
         db = self.db
         mt = self.memtable
         if not mt.immutable:
             raise DBError("flushing a mutable memtable")
         if mt.is_empty():
             return None
+        mt.flush_in_progress = True
+        try:
+            meta = yield from self._run_steps()
+            return meta
+        except GeneratorExit:
+            # The job was abandoned (simulation teardown), not failed: no
+            # cleanup, no trace events — the world is being discarded.
+            raise
+        except BaseException as exc:
+            path = self._path
+            if getattr(exc, "bg_source", "") != "manifest" and path is not None:
+                if db.fs.exists(path):
+                    db.fs.delete(path)
+            db.engine.tracer.span_end(self.track, {"error": type(exc).__name__})
+            raise
+        finally:
+            mt.flush_in_progress = False
+
+    def _run_steps(self):
+        db = self.db
+        mt = self.memtable
         tracer = db.engine.tracer
         tracer.span_begin(self.track, "flush")
+        self._path = None
 
         number = db.versions.new_file_number()
         builder = SSTBuilder(
@@ -57,6 +86,7 @@ class FlushJob:
 
         path = f"sst/{number:06d}.sst"
         f = db.fs.create(path)
+        self._path = path
         f.payload = sst
 
         total = sst.file_bytes

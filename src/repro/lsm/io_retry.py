@@ -41,10 +41,14 @@ def retry_call(
         try:
             return fn()
         except IOFaultError as exc:
+            if not exc.transient:
+                raise  # permanent: never retried, never counted
+            if attempt >= attempts:
+                if stats is not None:
+                    stats.inc(counter + "_exhausted")
+                raise
             if stats is not None:
                 stats.inc(counter)
-            if not exc.transient or attempt >= attempts:
-                raise
             yield backoff_ns << attempt
             attempt += 1
 
@@ -65,9 +69,13 @@ def retry_gen(
             result = yield from factory()
             return result
         except IOFaultError as exc:
+            if not exc.transient:
+                raise  # permanent: never retried, never counted
+            if attempt >= attempts:
+                if stats is not None:
+                    stats.inc(counter + "_exhausted")
+                raise
             if stats is not None:
                 stats.inc(counter)
-            if not exc.transient or attempt >= attempts:
-                raise
             yield backoff_ns << attempt
             attempt += 1

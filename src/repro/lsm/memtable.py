@@ -104,6 +104,9 @@ class MemTable:
         self.immutable = False
         self.first_seq: Optional[int] = None
         self.last_seq: Optional[int] = None
+        # True while a FlushJob is writing this memtable out — the error
+        # handler's resume pass skips those to avoid double flushes.
+        self.flush_in_progress = False
 
     def __len__(self) -> int:
         return len(self._rep)

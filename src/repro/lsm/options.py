@@ -89,6 +89,24 @@ class Options:
     # 0 disables (RocksDB's rate_limiter).
     rate_limit_bytes_per_sec: int = 0
 
+    # --- background-error handling (RocksDB ErrorHandler / Resume) ----------
+    # Base virtual-time delay before the first auto-resume attempt after a
+    # recoverable (soft/hard) background error.
+    bg_error_resume_interval_ns: int = us(500)
+    # Exponential backoff multiplier between failed resume attempts, and
+    # the cap the schedule saturates at.
+    bg_error_resume_backoff: float = 2.0
+    bg_error_resume_max_interval_ns: int = us(50_000)
+    # Failed resume attempts tolerated for a *soft* error before it
+    # escalates to hard (read-only).  Hard errors keep retrying forever;
+    # only permanent faults and corruption are fatal.
+    max_bg_error_resume_count: int = 6
+    # Low-space soft stall: when a filesystem quota is configured and free
+    # space (minus reserved compaction output) drops to this threshold,
+    # writes are delayed before ENOSPC ever fires.  0 = auto (two write
+    # buffers' worth).
+    low_space_stall_bytes: int = 0
+
     # --- bookkeeping ---------------------------------------------------------
     wal_record_overhead: int = 12  # per-record header bytes
     memtable_entry_overhead: int = 64  # charged per entry, like RocksDB arena
@@ -141,6 +159,18 @@ class Options:
             raise OptionsError("rate_limit_bytes_per_sec must be >= 0")
         if not 0.0 < self.wal_compression_ratio <= 1.0:
             raise OptionsError("wal_compression_ratio must be in (0, 1]")
+        if self.bg_error_resume_interval_ns <= 0:
+            raise OptionsError("bg_error_resume_interval_ns must be positive")
+        if self.bg_error_resume_backoff < 1.0:
+            raise OptionsError("bg_error_resume_backoff must be >= 1")
+        if self.bg_error_resume_max_interval_ns < self.bg_error_resume_interval_ns:
+            raise OptionsError(
+                "bg_error_resume_max_interval_ns must be >= the base interval"
+            )
+        if self.max_bg_error_resume_count < 1:
+            raise OptionsError("max_bg_error_resume_count must be >= 1")
+        if self.low_space_stall_bytes < 0:
+            raise OptionsError("low_space_stall_bytes must be >= 0")
 
     def copy(self, **overrides) -> "Options":
         """Return a copy with selected fields replaced (and re-validated)."""
@@ -156,6 +186,12 @@ class Options:
         for _ in range(level - 1):
             size *= self.max_bytes_for_level_multiplier
         return int(size)
+
+    def low_space_threshold(self) -> int:
+        """Free-space level (bytes) below which writes soft-stall."""
+        if self.low_space_stall_bytes > 0:
+            return self.low_space_stall_bytes
+        return 2 * self.write_buffer_size
 
     def target_file_size(self, level: int) -> int:
         """Target output file size for a compaction into ``level``."""

@@ -127,6 +127,22 @@ class WriteQueue:
         if self.pipelined:
             self._promote_next()
 
+    def fail_group(self, group: WriteGroup, exc: BaseException) -> None:
+        """The leader's write failed before the memtable phase: propagate.
+
+        Members are parked on their role events; without this they would
+        wait forever (the silent-hang the background-error work removes).
+        Each still-waiting member's event fails with ``exc`` — the member
+        raises it from its own ``write()`` — and leadership moves on.
+        Never called after :meth:`wal_phase_done` for the same group, so
+        leadership is handed off exactly once either way.
+        """
+        for member in group.writers[1:]:
+            if not member.event.triggered:
+                member.event.fail(exc)
+        group.pending = 0
+        self._promote_next()
+
     def member_done(self, group: WriteGroup) -> None:
         """A member finished its memtable insert."""
         group.pending -= 1

@@ -16,9 +16,9 @@ Level invariants (checked by :meth:`Version.check_invariants`):
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.errors import DBError
+from repro.errors import DBError, IOFaultError, OutOfSpaceError
 from repro.fs.filesystem import SimFile, SimFileSystem, TornRecord
 from repro.lsm.io_retry import retry_gen
 from repro.lsm.options import Options
@@ -176,6 +176,7 @@ class VersionSet:
         self.current = Version(options.num_levels)
         self.current.refs += 1
         self._files: Dict[int, FileMetadata] = {}
+        self._init_durability_state()
 
     @classmethod
     def recover(
@@ -203,6 +204,7 @@ class VersionSet:
         vs.current = Version(options.num_levels)
         vs.current.refs += 1
         vs._files = {}
+        vs._init_durability_state()
         good = 0
         offset = 0
         for nbytes, edit in list(vs.manifest.records):
@@ -227,6 +229,23 @@ class VersionSet:
             vs.next_file_number = max(vs.next_file_number, meta.number + 1)
             vs.last_sequence = max(vs.last_sequence, max(e[0] for e in meta.sst.entries))
         return vs
+
+    def _init_durability_state(self) -> None:
+        # Manifest-durability tracking (repro.lsm.error_handler).  The
+        # manifest is *dirty* when an applied edit's record is appended (or
+        # queued) but not yet durable; while dirty, WAL release and physical
+        # file deletion are held off so a crash recovers consistently.
+        self.manifest_dirty = False
+        # Edits applied in memory whose records could not even be appended
+        # (manifest ENOSPC, or ordered behind such a record).  Re-appended
+        # in order by sync_manifest().
+        self._unlogged_edits: List[VersionEdit] = []
+        # Deletion hook (SstFileManager.delete_file defers while dirty);
+        # None = delete directly.
+        self.file_deleter: Optional[Callable[[str], None]] = None
+        # Called when the manifest becomes clean again (flush deferred
+        # deletions).
+        self.on_manifest_clean: Optional[Callable[[], Any]] = None
 
     # -- numbering ---------------------------------------------------------------
 
@@ -260,7 +279,9 @@ class VersionSet:
 
     def _reclaim(self, meta: FileMetadata) -> None:
         del self._files[meta.number]
-        if self.fs.exists(meta.file.path):
+        if self.file_deleter is not None:
+            self.file_deleter(meta.file.path)
+        elif self.fs.exists(meta.file.path):
             self.fs.delete(meta.file.path)
         if self._on_file_dead is not None:
             self._on_file_dead(meta)
@@ -316,10 +337,72 @@ class VersionSet:
         on the fsync are retried — losing a manifest sync would orphan the
         just-installed files.
         """
-        ev = self.manifest.append(edit.encoded_bytes(), record=edit)
+        if self._unlogged_edits:
+            # An earlier edit is still waiting to reach the manifest;
+            # appending this record now would put the durable edit sequence
+            # out of order.  Queue it behind and surface the degraded state
+            # (sync_manifest re-appends in order).
+            self._unlogged_edits.append(edit)
+            self.manifest_dirty = True
+            exc = OutOfSpaceError(
+                "manifest has unlogged edits pending", path=self.manifest.path
+            )
+            exc.bg_source = "manifest"
+            raise exc
+        try:
+            ev = self.manifest.append(edit.encoded_bytes(), record=edit)
+        except OutOfSpaceError as exc:
+            # The record never reached the manifest: queue the edit for
+            # ordered re-append.  Crash safety holds because the files this
+            # edit deletes are only *deferred*-deleted while dirty, so a
+            # recovery from the durable (pre-edit) manifest still finds
+            # every file it references.
+            self._unlogged_edits.append(edit)
+            self.manifest_dirty = True
+            exc.bg_source = "manifest"
+            raise
         if ev is not None:
             yield ev
-        yield from retry_gen(self.manifest.sync, self.stats, "manifest.io_retries")
+        try:
+            yield from retry_gen(
+                self.manifest.sync, self.stats, "manifest.io_retries"
+            )
+        except IOFaultError as exc:
+            # The record is appended (it sits in the page cache) but not
+            # durable: mark the manifest dirty so WAL release and physical
+            # file deletion hold off until a later sync covers it.
+            self.manifest_dirty = True
+            exc.bg_source = "manifest"
+            raise
+        if self.manifest_dirty:
+            self._manifest_clean()
+
+    def sync_manifest(self):
+        """Generator: heal manifest durability (the auto-resume probe).
+
+        Re-appends queued edits in order, then fsyncs the manifest;
+        success clears the dirty flag and releases deferred deletions.
+        Raises on the first failure — the caller backs off and retries.
+        """
+        while self._unlogged_edits:
+            edit = self._unlogged_edits[0]
+            ev = self.manifest.append(edit.encoded_bytes(), record=edit)
+            self._unlogged_edits.pop(0)
+            self.stats.inc("manifest.requeued_edits")
+            if ev is not None:
+                yield ev
+        try:
+            yield from self.manifest.sync()
+        except IOFaultError as exc:
+            exc.bg_source = "manifest"
+            raise
+        self._manifest_clean()
+
+    def _manifest_clean(self) -> None:
+        self.manifest_dirty = False
+        self.stats.inc("manifest.resynced")
+        if self.on_manifest_clean is not None:
+            self.on_manifest_clean()
 
     # -- derived state -----------------------------------------------------------------
 

@@ -28,6 +28,8 @@ NORMAL = "normal"
 DELAYED = "delayed"
 STOPPED = "stopped"
 
+_STATE_RANK = {NORMAL: 0, DELAYED: 1, STOPPED: 2}
+
 
 @dataclass(frozen=True)
 class StallMetrics:
@@ -55,6 +57,10 @@ class WriteController:
         self._prev_backlog: Optional[int] = None
         self._stop_event: Optional[Event] = None
         self.stats = StatsSet()
+        # External state floor: degraded conditions outside Algorithm 1's
+        # metrics (a soft background error, low disk space) force at least
+        # this state regardless of LSM shape.  NORMAL = no floor.
+        self.floor = NORMAL
 
     # -- state policy ----------------------------------------------------------
 
@@ -77,6 +83,8 @@ class WriteController:
     def update(self, metrics: StallMetrics) -> None:
         """Re-evaluate the stall state after an LSM shape change."""
         new_state = self.pick_state(metrics)
+        if _STATE_RANK[new_state] < _STATE_RANK[self.floor]:
+            new_state = self.floor
         if new_state == self.state:
             return
         old_state = self.state
@@ -99,6 +107,15 @@ class WriteController:
         if self._stop_event is None:
             self._stop_event = self.engine.event()
         return self._stop_event
+
+    def kick_stopped_writers(self) -> None:
+        """Wake writers parked on :meth:`stop_wait_event` without a state
+        change, so they can re-check conditions that bypass the stall
+        machinery (the DB turning read-only under a hard background error).
+        """
+        if self._stop_event is not None:
+            self._stop_event.succeed()
+            self._stop_event = None
 
     # -- Algorithm 1 ----------------------------------------------------------------
 

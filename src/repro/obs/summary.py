@@ -43,6 +43,33 @@ def stall_episodes(tracer) -> List[Tuple[str, int, Optional[int], List[str]]]:
     return episodes
 
 
+def degraded_episodes(tracer) -> List[Tuple[str, int, Optional[int], List[str]]]:
+    """Degraded-mode episodes from error-handler severity transitions.
+
+    Same shape as :func:`stall_episodes`, but parsed from the
+    ``error_handler`` track's ``old->new`` instants (healthy = "normal"):
+    ``(track, start_ns, end_ns, severities)`` per contiguous degraded
+    period, ``end_ns`` None when the DB never resumed before trace end.
+    """
+    episodes: List[Tuple[str, int, Optional[int], List[str]]] = []
+    open_eps: Dict[str, Tuple[int, List[str]]] = {}
+    for track, ph, name, ts, _dur, _args in tracer.iter_events():
+        if ph != "i" or not track.endswith("error_handler") or "->" not in name:
+            continue
+        _old, _, new = name.partition("->")
+        if new == _NORMAL:
+            if track in open_eps:
+                start, states = open_eps.pop(track)
+                episodes.append((track, start, ts, states))
+        elif track in open_eps:
+            open_eps[track][1].append(new)
+        else:
+            open_eps[track] = (ts, [new])
+    for track, (start, states) in open_eps.items():
+        episodes.append((track, start, None, states))
+    return episodes
+
+
 def busiest_device_windows(
     tracer, window_ns: Optional[int] = None
 ) -> List[Tuple[str, int, int, float]]:
@@ -98,6 +125,25 @@ def summarize(tracer, top_n: int = 5) -> str:
             )
     else:
         lines.append("write stalls: none recorded")
+
+    # Degraded-mode digest only when a background error actually occurred,
+    # keeping fault-free summaries byte-identical to pre-error-handler runs.
+    degraded = degraded_episodes(tracer)
+    if degraded:
+        total = sum(
+            (end if end is not None else start) - start
+            for _t, start, end, _s in degraded
+        )
+        lines.append(
+            f"degraded mode: {len(degraded)} episode(s), "
+            f"{fmt_time(total)} total degraded time:"
+        )
+        for track, start, end, states in degraded[:top_n]:
+            dur = "unfinished" if end is None else fmt_time(end - start)
+            path = "->".join(states)
+            lines.append(
+                f"  {track}: {path} at t={start / 1e9:.3f}s for {dur}"
+            )
 
     windows = busiest_device_windows(tracer)
     if windows:

@@ -250,6 +250,33 @@ class EngineTracer:
             "db", "write_group", start_ns, end_ns - start_ns, {"writers": writers}
         )
 
+    # -- background-error lifecycle (repro.lsm.error_handler) ---------------
+
+    def bg_error(self, source: str, severity: str) -> None:
+        """A background failure was classified (error-raised)."""
+        self.instant("error_handler", f"error:{source}", {"severity": severity})
+
+    def degraded_transition(self, old: str, new: str) -> None:
+        """Degraded-mode severity change, 'normal' meaning healthy.
+
+        Named ``old->new`` on the ``error_handler`` track, mirroring
+        :meth:`stall_transition`, so the summary digests parse episodes
+        the same way.
+        """
+        self.instant("error_handler", f"{old}->{new}")
+
+    def resume_attempt(self, attempt: int, source: str) -> None:
+        self.instant(
+            "error_handler", "resume_attempt",
+            {"attempt": attempt, "source": source},
+        )
+
+    def resume_success(self, attempts: int, degraded_ns: int) -> None:
+        self.instant(
+            "error_handler", "resume_success",
+            {"attempts": attempts, "degraded_ns": degraded_ns},
+        )
+
 
 class NullTracer:
     """The disabled tracer: every hook is a no-op and ``bind`` returns self.
@@ -299,6 +326,18 @@ class NullTracer:
         pass
 
     def write_group(self, start_ns, end_ns, writers) -> None:
+        pass
+
+    def bg_error(self, source, severity) -> None:
+        pass
+
+    def degraded_transition(self, old, new) -> None:
+        pass
+
+    def resume_attempt(self, attempt, source) -> None:
+        pass
+
+    def resume_success(self, attempts, degraded_ns) -> None:
         pass
 
 

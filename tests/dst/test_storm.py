@@ -1,0 +1,81 @@
+"""Tests for the storm-then-clear DST (graceful degradation + resume)."""
+
+import pytest
+
+from repro.dst.storm import (
+    STORM_IO,
+    STORM_MIXED,
+    STORM_SPACE,
+    StormConfig,
+    StormRun,
+)
+
+pytestmark = pytest.mark.dst
+
+
+def _cfg(**overrides):
+    """Smaller than the CLI default so the unit sweep stays fast."""
+    base = dict(num_ops=250, num_keys=32)
+    base.update(overrides)
+    return StormConfig(**base)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_same_seed_same_run(self, seed):
+        a = StormRun(seed, _cfg()).run()
+        b = StormRun(seed, _cfg()).run()
+        assert a.events == b.events
+        assert a.verdict == b.verdict
+        assert (a.kind, a.writes_acked, a.degraded_entries, a.quiesce_ns) == (
+            b.kind,
+            b.writes_acked,
+            b.degraded_entries,
+            b.quiesce_ns,
+        )
+
+    def test_different_seeds_diverge(self):
+        a = StormRun(1, _cfg()).run()
+        b = StormRun(2, _cfg()).run()
+        assert a.events != b.events
+
+
+class TestGracefulDegradation:
+    def test_io_storm_degrades_and_resumes(self):
+        result = StormRun(2, _cfg(kind=STORM_IO)).run()
+        assert result.ok, result.reason
+        assert result.degraded_entries >= 1
+        assert result.resume_successes >= 1
+        assert result.quiesce_ns >= 0  # bounded quiesce after the window
+
+    def test_space_storm_degrades_and_resumes(self):
+        result = StormRun(0, _cfg(kind=STORM_SPACE)).run()
+        assert result.ok, result.reason
+        assert result.degraded_entries >= 1
+        assert result.resume_successes >= 1
+        # ENOSPC is soft: acked writes were only delayed, never rejected
+        # as read-only (the space-wait does not escalate).
+        assert result.writes_acked == result.writes_issued
+
+    def test_mixed_storm_degrades_and_resumes(self):
+        result = StormRun(4, _cfg(kind=STORM_MIXED)).run()
+        assert result.ok, result.reason
+        assert result.degraded_entries >= 1
+        assert result.resume_successes >= 1
+
+    @pytest.mark.slow
+    def test_sweep_finds_read_only_and_rejections(self):
+        """Across a small sweep, some seed must reach read-only mode and
+        surface typed rejections — the hard path, not just the soft one —
+        and every seed must still pass the durability + liveness checks."""
+        # Full-size runs (the CLI default): short windows can miss the
+        # background work entirely on some seeds.
+        results = [StormRun(seed, StormConfig()).run() for seed in range(12)]
+        for r in results:
+            assert r.ok, f"seed {r.seed}: {r.reason}\n" + "\n".join(r.events[-15:])
+        assert all(r.degraded_entries >= 1 for r in results)
+        assert any(r.went_read_only and r.writes_rejected > 0 for r in results)
+        # Unacked writes were rejected, never silently dropped: the two
+        # counters partition the issued writes for every seed.
+        for r in results:
+            assert r.writes_acked + r.writes_rejected == r.writes_issued

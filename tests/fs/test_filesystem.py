@@ -168,6 +168,58 @@ class TestExtents:
         assert runs[0][1] == 100
         assert runs[1][1] == 100
 
+    def test_quota_enforced_on_append(self, null_fs):
+        null_fs.set_quota(2 * EXTENT_BYTES)
+        f = null_fs.create("f")
+        f.append(2 * EXTENT_BYTES)  # exactly at the quota: fine
+        with pytest.raises(OutOfSpaceError) as exc_info:
+            f.append(1)
+        assert exc_info.value.path == "f"
+        assert exc_info.value.free_bytes == 0
+        assert null_fs.stats.get("quota_enospc") == 1
+
+    def test_quota_enforced_on_create(self, null_fs):
+        null_fs.set_quota(EXTENT_BYTES)
+        null_fs.create("a").append(EXTENT_BYTES)
+        with pytest.raises(OutOfSpaceError):
+            null_fs.create("b")
+
+    def test_failed_append_reserves_nothing(self, null_fs):
+        """ENOSPC mid-growth must not leak half-allocated extents."""
+        null_fs.set_quota(2 * EXTENT_BYTES)
+        f = null_fs.create("f")
+        used_before = null_fs.used_bytes()
+        with pytest.raises(OutOfSpaceError):
+            f.append(3 * EXTENT_BYTES)
+        assert null_fs.used_bytes() == used_before
+        assert f.size == 0
+        f.append(EXTENT_BYTES)  # the survivor still has room
+
+    def test_quota_capacity_accounting(self, null_fs):
+        assert null_fs.free_bytes() == null_fs.capacity_bytes()
+        null_fs.set_quota(3 * EXTENT_BYTES)
+        assert null_fs.capacity_bytes() == 3 * EXTENT_BYTES
+        f = null_fs.create("f")
+        f.append(EXTENT_BYTES)
+        assert null_fs.used_bytes() == EXTENT_BYTES
+        assert null_fs.free_bytes() == 2 * EXTENT_BYTES
+        null_fs.set_quota(None)  # lifting restores device capacity
+        assert null_fs.free_bytes() > 2 * EXTENT_BYTES
+
+    def test_quota_lift_unblocks_growth(self, null_fs):
+        null_fs.set_quota(EXTENT_BYTES)
+        f = null_fs.create("f")
+        f.append(EXTENT_BYTES)
+        with pytest.raises(OutOfSpaceError):
+            f.append(1)
+        null_fs.set_quota(None)
+        f.append(EXTENT_BYTES)
+        assert f.size == 2 * EXTENT_BYTES
+
+    def test_negative_quota_rejected(self, null_fs):
+        with pytest.raises(FileSystemError):
+            null_fs.set_quota(-1)
+
     def test_install_synced(self, null_fs):
         f = null_fs.install_synced("pre", 3 * EXTENT_BYTES)
         assert f.size == f.synced_size == 3 * EXTENT_BYTES

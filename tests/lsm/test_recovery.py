@@ -237,3 +237,81 @@ class TestTornWalTail:
         assert fs.stats.get("torn_records") == 0
         db2 = DB(engine, fs, tiny_options(wal_mode=WAL_SYNC))
         assert db2.stats.get("recovery.wal_bad_records") == 0
+
+
+class TestDiskFull:
+    """ENOSPC as a *recoverable* condition: soft error, resume, crash-safe.
+
+    The disk-full model is a byte quota on the filesystem; squeezing it to
+    current usage makes the next extent allocation raise OutOfSpaceError.
+    The DB must degrade soft (keep acking what it can), auto-resume when
+    the quota lifts, and never lose an acked write across a crash that
+    happens while the disk is full.
+    """
+
+    def _options(self, **overrides):
+        base = dict(
+            write_buffer_size=kb(8),
+            max_write_buffer_number=6,
+            bg_error_resume_interval_ns=50_000,
+            bg_error_resume_max_interval_ns=800_000,
+        )
+        base.update(overrides)
+        return tiny_options(**base)
+
+    def _sleep_until(self, engine, pred, budget_ns, step_ns=50_000):
+        def stepper():
+            yield step_ns
+
+        deadline = engine.now + budget_ns
+        while not pred():
+            assert engine.now < deadline, "condition not reached in budget"
+            run_op(engine, stepper())
+
+    def _fill(self, engine, db, lo, hi):
+        def writer():
+            for i in range(lo, hi):
+                yield from db.put(key(i), val(i))
+
+        run_op(engine, writer())
+
+    def test_flush_enospc_degrades_soft_then_resumes(self, engine):
+        fs = make_fs(engine, profile=xpoint_ssd())
+        db = DB(engine, fs, self._options())
+        self._fill(engine, db, 0, 40)
+        run_op(engine, db.wait_idle(timeout_ns=mb(1)))
+
+        fs.set_quota(fs.used_bytes())  # zero headroom: next extent fails
+        self._fill(engine, db, 40, 110)  # forces a flush into a full disk
+        eh = db.error_handler
+        self._sleep_until(engine, lambda: eh.severity == "soft", 20_000_000)
+        assert db.stats.get("bg_error.degraded_entries") >= 1
+        assert fs.stats.get("quota_enospc") >= 1
+        # ENOSPC is soft: nothing was rejected, everything above acked.
+        assert db.stats.get("bg_error.writes_rejected") == 0
+
+        fs.set_quota(None)
+        self._sleep_until(engine, lambda: eh.severity == "", 60_000_000)
+        assert db.stats.get("bg_error.resume_successes") >= 1
+        run_op(engine, db.wait_idle(timeout_ns=100_000_000))
+        for i in (0, 39, 40, 75, 109):
+            assert run_op(engine, db.get(key(i))) == val(i)
+
+    def test_crash_while_disk_full_keeps_acked_writes(self, engine):
+        """Acked (synced-WAL) writes survive a crash taken mid-ENOSPC."""
+        fs = make_fs(engine, profile=xpoint_ssd())
+        db = DB(engine, fs, self._options(wal_mode=WAL_SYNC))
+        self._fill(engine, db, 0, 40)
+        run_op(engine, db.wait_idle(timeout_ns=mb(1)))
+
+        fs.set_quota(fs.used_bytes())
+        self._fill(engine, db, 40, 110)  # acks land in the synced WAL
+        eh = db.error_handler
+        self._sleep_until(engine, lambda: eh.severity == "soft", 20_000_000)
+
+        fs.crash()
+        fs.set_quota(None)  # the operator fixed the disk before restart
+        db2 = DB(engine, fs, self._options(wal_mode=WAL_SYNC))
+        for i in (0, 39, 40, 75, 109):
+            assert run_op(engine, db2.get(key(i))) == val(i)
+        assert db2.error_handler.severity == ""
