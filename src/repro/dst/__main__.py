@@ -17,6 +17,7 @@ from typing import List, Optional
 from repro.dst.harness import DstConfig, DstResult, DstRun
 from repro.dst.storm import STORM_AUTO, STORM_KINDS, StormConfig, StormRun
 from repro.faults import FaultSchedule
+from repro.perf.parallel import default_jobs, imap_points
 
 
 def _parse_seeds(args: argparse.Namespace) -> List[int]:
@@ -30,16 +31,6 @@ def _parse_seeds(args: argparse.Namespace) -> List[int]:
             raise SystemExit(f"empty --seeds range {args.seeds!r}")
         return list(range(lo_i, hi_i))
     return [args.seed]
-
-
-def _config(args: argparse.Namespace, schedule: Optional[FaultSchedule]) -> DstConfig:
-    return DstConfig(
-        num_ops=args.ops,
-        num_keys=args.keys,
-        faults=not args.no_faults,
-        max_faults=args.max_faults,
-        schedule=schedule,
-    )
 
 
 def _repro_line(args: argparse.Namespace, seed: int) -> str:
@@ -59,23 +50,50 @@ def _repro_line(args: argparse.Namespace, seed: int) -> str:
     return " ".join(parts)
 
 
-def _storm_config(args: argparse.Namespace) -> StormConfig:
-    cfg = StormConfig(kind=args.storm_kind)
-    if args.ops != 300:
-        cfg.num_ops = args.ops
-    if args.keys != 40:
-        cfg.num_keys = args.keys
-    return cfg
+# -- seed workers (run inside worker processes under --jobs) -----------------
+#
+# Each worker runs one seed's full universe (plus the --selfcheck rerun) and
+# ships back only picklable results.  Configs are constructed *inside* the
+# worker, one fresh instance per run, exactly as the serial loop does, so
+# the event logs are byte-identical for every jobs value.
+
+
+def _dst_seed_worker(item):
+    seed, cfg_kwargs, selfcheck = item
+    result = DstRun(seed, DstConfig(**cfg_kwargs)).run()
+    again = DstRun(seed, DstConfig(**cfg_kwargs)).run() if selfcheck else None
+    return result, again
+
+
+def _storm_seed_worker(item):
+    seed, cfg_kwargs, selfcheck = item
+
+    def make() -> StormConfig:
+        cfg = StormConfig(kind=cfg_kwargs["kind"])
+        if cfg_kwargs["ops"] is not None:
+            cfg.num_ops = cfg_kwargs["ops"]
+        if cfg_kwargs["keys"] is not None:
+            cfg.num_keys = cfg_kwargs["keys"]
+        return cfg
+
+    result = StormRun(seed, make()).run()
+    again = StormRun(seed, make()).run() if selfcheck else None
+    return result, again
 
 
 def _run_storm(args: argparse.Namespace, seeds: List[int]) -> int:
     """The --storm main loop: degraded-mode/auto-resume sweeps."""
     failures = 0
     degraded_seeds = 0
-    for seed in seeds:
-        result = StormRun(seed, _storm_config(args)).run()
+    cfg_kwargs = {
+        "kind": args.storm_kind,
+        "ops": args.ops if args.ops != 300 else None,
+        "keys": args.keys if args.keys != 40 else None,
+    }
+    items = [(seed, cfg_kwargs, args.selfcheck) for seed in seeds]
+    runs = imap_points(_storm_seed_worker, items, jobs=args.jobs)
+    for seed, (result, again) in zip(seeds, runs):
         if args.selfcheck:
-            again = StormRun(seed, _storm_config(args)).run()
             if again.events != result.events or again.verdict != result.verdict:
                 print(f"seed={seed} NONDETERMINISTIC: reruns diverge")
                 for a, b in zip(result.events, again.events):
@@ -158,6 +176,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=STORM_AUTO,
         help="storm flavour: io faults, disk-full squeeze, both, or per-seed auto",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=default_jobs(),
+        metavar="N",
+        help="worker processes for seed sweeps (default: $REPRO_JOBS or 1); "
+        "output is byte-identical for any value",
+    )
     args = parser.parse_args(argv)
 
     if args.storm:
@@ -167,10 +193,18 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     schedule = FaultSchedule.from_file(args.replay) if args.replay else None
     failures = 0
-    for seed in _parse_seeds(args):
-        result = DstRun(seed, _config(args, schedule)).run()
+    seeds = _parse_seeds(args)
+    cfg_kwargs = {
+        "num_ops": args.ops,
+        "num_keys": args.keys,
+        "faults": not args.no_faults,
+        "max_faults": args.max_faults,
+        "schedule": schedule,
+    }
+    items = [(seed, cfg_kwargs, args.selfcheck) for seed in seeds]
+    runs = imap_points(_dst_seed_worker, items, jobs=args.jobs)
+    for seed, (result, again) in zip(seeds, runs):
         if args.selfcheck:
-            again = DstRun(seed, _config(args, schedule)).run()
             if again.events != result.events or again.verdict != result.verdict:
                 print(f"seed={seed} NONDETERMINISTIC: reruns diverge")
                 for a, b in zip(result.events, again.events):

@@ -19,10 +19,11 @@ import argparse
 import sys
 import time
 
-from repro.harness.experiments import EXPERIMENTS
+from repro.harness.experiments import EXPERIMENTS, set_jobs
 from repro.harness.presets import preset_by_name, trace_path
 from repro.harness.report import render_trace_summary
 from repro.obs import Tracer, set_active_tracer
+from repro.perf.parallel import default_jobs
 
 
 def main(argv=None) -> int:
@@ -44,7 +45,23 @@ def main(argv=None) -> int:
         help="write a Chrome-trace/Perfetto JSON of the run(s) to PATH "
         "(default: $REPRO_TRACE if set)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=default_jobs(),
+        metavar="N",
+        help="worker processes for independent sweep points (default: "
+        "$REPRO_JOBS or 1); any value produces bit-identical figures",
+    )
     args = parser.parse_args(argv)
+
+    if args.trace and args.jobs > 1:
+        # Worker processes would record their trace events into their own
+        # (forked) tracer copies and the export here would silently miss
+        # them — tracing forces the serial path.
+        print("[--trace forces --jobs 1: trace events are per-process]")
+        args.jobs = 1
+    set_jobs(args.jobs)
 
     preset = preset_by_name(args.preset)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.bottlenecks import (
     near_stop_fraction,
@@ -31,6 +31,7 @@ from repro.harness.presets import ScalePreset, bench_preset
 from repro.harness.report import ExperimentResult
 from repro.lsm.db import DB
 from repro.lsm.options import Options
+from repro.perf.parallel import map_points
 from repro.sim.units import MB, SEC, mb, ms, seconds
 from repro.storage.iotoolkit import RawBenchmark, RawWorkloadConfig
 from repro.storage.profiles import (
@@ -130,6 +131,96 @@ def _avg_l0(result: BenchResult) -> float:
 
 
 # --------------------------------------------------------------------------
+# Parallel sweep machinery (--jobs)
+# --------------------------------------------------------------------------
+
+_jobs = 1
+
+
+def set_jobs(jobs: int) -> None:
+    """Set the worker-process count for subsequent experiment sweeps.
+
+    ``jobs <= 1`` keeps the plain serial in-process loop.  Results are
+    always merged in point order, so every jobs value produces bit-identical
+    figures (see :mod:`repro.perf.parallel`).
+    """
+    global _jobs
+    _jobs = max(1, int(jobs))
+
+
+def get_jobs() -> int:
+    return _jobs
+
+
+#: Write-controller factories by name.  Sweep points carry the *name*
+#: (strings pickle across process boundaries; closures do not) and workers
+#: look the factory up at run time.
+CONTROLLER_FACTORIES: Dict[str, Optional[Callable]] = {
+    "": None,
+    "two-stage": lambda engine, opts: TwoStageWriteController(engine, opts),
+}
+
+
+@dataclass(frozen=True)
+class WorkloadPoint:
+    """One independent (device, config, seed) sweep point — picklable."""
+
+    device: str
+    preset: ScalePreset
+    write_fraction: float
+    processes: Optional[int] = None
+    duration_ns: Optional[int] = None
+    seed: int = DEFAULT_SEED
+    options: Optional[Options] = None
+    controller: str = ""
+    wal_on_nvm: bool = False
+    schedule: Optional[BurstSchedule] = None
+    warmup_fraction: float = 0.25
+    dynamic_l0: bool = False
+
+
+@dataclass
+class PointResult:
+    """What a sweep point sends back across the process boundary.
+
+    Engines, DBs and machines stay inside the worker; figures consume the
+    measured :class:`BenchResult` plus the few live-object readings they
+    need (the Figure 16 peak queue depth).
+    """
+
+    result: BenchResult
+    max_waiting: float
+
+
+def run_point(point: WorkloadPoint) -> PointResult:
+    """Execute one sweep point (runs inside a worker process under --jobs)."""
+    run = run_workload(
+        point.device,
+        point.preset,
+        point.write_fraction,
+        processes=point.processes,
+        duration_ns=point.duration_ns,
+        seed=point.seed,
+        options=point.options,
+        controller_factory=CONTROLLER_FACTORIES[point.controller],
+        wal_on_nvm=point.wal_on_nvm,
+        schedule=point.schedule,
+        warmup_fraction=point.warmup_fraction,
+        dynamic_l0=point.dynamic_l0,
+    )
+    return PointResult(
+        result=run.result,
+        max_waiting=run.db.write_queue.waiting_gauge.max_value,
+    )
+
+
+def run_points(points: Sequence[WorkloadPoint]) -> List[PointResult]:
+    """Run sweep points (in parallel after ``set_jobs(n>1)``), in point order."""
+    return map_points(run_point, list(points), jobs=_jobs)
+
+
+
+# --------------------------------------------------------------------------
 # Figure 1 — motivating example
 # --------------------------------------------------------------------------
 
@@ -155,9 +246,13 @@ def fig01_motivating(preset: Optional[ScalePreset] = None, seed: int = DEFAULT_S
     for device in ("sata-flash", "xpoint"):
         raw = RawBenchmark(raw_cfg).run_profile(DEVICES[device]())
         res.add_row(system="raw", device=device, kops=round(raw.kops, 1))
-    for device in ("sata-flash", "xpoint"):
-        run = run_workload(device, preset, write_fraction=0.5, processes=8, seed=seed)
-        res.add_row(system="rocksdb", device=device, kops=round(run.result.kops, 1))
+    kv_devices = ("sata-flash", "xpoint")
+    points = [
+        WorkloadPoint(device, preset, write_fraction=0.5, processes=8, seed=seed)
+        for device in kv_devices
+    ]
+    for device, pr in zip(kv_devices, run_points(points)):
+        res.add_row(system="rocksdb", device=device, kops=round(pr.result.kops, 1))
 
     raw_speedup = res.row_for(system="raw", device="xpoint")["kops"] / max(
         1e-9, res.row_for(system="raw", device="sata-flash")["kops"]
@@ -192,12 +287,15 @@ def fig03_insertion_ratio(
             "XPoint falls (115 -> 45 kop/s) and converges toward PCIe flash"
         ),
     )
-    for device in DEVICES:
-        for wf in ratios:
-            run = run_workload(device, preset, write_fraction=wf, seed=seed)
-            res.add_row(
-                device=device, write_fraction=wf, kops=round(run.result.kops, 1)
-            )
+    grid = [(device, wf) for device in DEVICES for wf in ratios]
+    points = [
+        WorkloadPoint(device, preset, write_fraction=wf, seed=seed)
+        for device, wf in grid
+    ]
+    for (device, wf), pr in zip(grid, run_points(points)):
+        res.add_row(
+            device=device, write_fraction=wf, kops=round(pr.result.kops, 1)
+        )
     return res
 
 
@@ -216,13 +314,17 @@ def _timeline_experiment(
         paper_expectation=expectation,
     )
     duration = max(_duration_ns(preset), seconds(4.0))
-    for device in DEVICES:
-        run = run_workload(
+    devices = list(DEVICES)
+    points = [
+        WorkloadPoint(
             device, preset, write_fraction=write_fraction, seed=seed,
             duration_ns=duration,
         )
-        series = run.result.timeline.series(
-            start=run.result.config.warmup_ns, end=duration
+        for device in devices
+    ]
+    for device, pr in zip(devices, run_points(points)):
+        series = pr.result.timeline.series(
+            start=pr.result.config.warmup_ns, end=duration
         )
         stats = throughput_variation(series)
         res.add_row(
@@ -267,13 +369,15 @@ def fig05_timeline_90w(preset: Optional[ScalePreset] = None, seed: int = DEFAULT
 # Figures 6 & 7 — read/write latency at 90% write
 # --------------------------------------------------------------------------
 
-def _latency_90w_runs(preset: ScalePreset, seed: int) -> Dict[str, RunArtifacts]:
+def _latency_90w_runs(preset: ScalePreset, seed: int) -> Dict[str, PointResult]:
     key = ("latency90w", preset.name, seed, _duration_ns(preset))
     if key not in _memo:
-        _memo[key] = {
-            device: run_workload(device, preset, write_fraction=0.9, seed=seed)
-            for device in DEVICES
-        }
+        devices = list(DEVICES)
+        points = [
+            WorkloadPoint(device, preset, write_fraction=0.9, seed=seed)
+            for device in devices
+        ]
+        _memo[key] = dict(zip(devices, run_points(points)))
     return _memo[key]  # type: ignore[return-value]
 
 
@@ -324,18 +428,24 @@ def _l0_size_multipliers() -> Tuple[float, ...]:
     return (0.5, 1.0, 2.0, 4.0)
 
 
-def _l0_sweep_runs(preset: ScalePreset, seed: int) -> Dict[Tuple[str, float], RunArtifacts]:
+def _l0_sweep_runs(preset: ScalePreset, seed: int) -> Dict[Tuple[str, float], PointResult]:
     key = ("l0sweep", preset.name, seed, _duration_ns(preset))
     if key not in _memo:
-        runs: Dict[Tuple[str, float], RunArtifacts] = {}
-        for device in DEVICES:
-            for mult in _l0_size_multipliers():
-                wb = int(preset.write_buffer_size * mult)
-                opts = preset.options(write_buffer_size=wb)
-                runs[(device, mult)] = run_workload(
-                    device, preset, write_fraction=0.5, seed=seed, options=opts
-                )
-        _memo[key] = runs
+        grid = [
+            (device, mult)
+            for device in DEVICES
+            for mult in _l0_size_multipliers()
+        ]
+        points = [
+            WorkloadPoint(
+                device, preset, write_fraction=0.5, seed=seed,
+                options=preset.options(
+                    write_buffer_size=int(preset.write_buffer_size * mult)
+                ),
+            )
+            for device, mult in grid
+        ]
+        _memo[key] = dict(zip(grid, run_points(points)))
     return _memo[key]  # type: ignore[return-value]
 
 
@@ -429,16 +539,21 @@ def fig12_write_latency_vs_sst(preset: Optional[ScalePreset] = None, seed: int =
 PARALLELISM_LEVELS = (1, 2, 8, 32)
 
 
-def _parallelism_runs(preset: ScalePreset, seed: int) -> Dict[Tuple[str, int], RunArtifacts]:
+def _parallelism_runs(preset: ScalePreset, seed: int) -> Dict[Tuple[str, int], PointResult]:
     key = ("parallelism", preset.name, seed, _duration_ns(preset))
     if key not in _memo:
-        runs: Dict[Tuple[str, int], RunArtifacts] = {}
-        for device in DEVICES:
-            for procs in PARALLELISM_LEVELS:
-                runs[(device, procs)] = run_workload(
-                    device, preset, write_fraction=0.5, processes=procs, seed=seed
-                )
-        _memo[key] = runs
+        grid = [
+            (device, procs)
+            for device in DEVICES
+            for procs in PARALLELISM_LEVELS
+        ]
+        points = [
+            WorkloadPoint(
+                device, preset, write_fraction=0.5, processes=procs, seed=seed
+            )
+            for device, procs in grid
+        ]
+        _memo[key] = dict(zip(grid, run_points(points)))
     return _memo[key]  # type: ignore[return-value]
 
 
@@ -508,12 +623,11 @@ def fig16_waiting_threads(preset: Optional[ScalePreset] = None, seed: int = DEFA
     )
     runs = _parallelism_runs(preset, seed)
     for device in DEVICES:
-        run = runs[(device, 32)]
-        queue = run.db.write_queue
+        pr = runs[(device, 32)]
         res.add_row(
             device=device,
-            mean_waiting=round(run.result.mean_waiting_writers, 2),
-            max_waiting=round(queue.waiting_gauge.max_value, 0),
+            mean_waiting=round(pr.result.mean_waiting_writers, 2),
+            max_waiting=round(pr.max_waiting, 0),
         )
     return res
 
@@ -530,17 +644,26 @@ def fig17_wal(preset: Optional[ScalePreset] = None, seed: int = DEFAULT_SEED) ->
         columns=["device", "wal", "write_p50_us", "write_p90_us"],
         paper_expectation="disabling the WAL cuts write p90 substantially (XPoint: 54 -> 22 us)",
     )
-    for device in DEVICES:
-        for wal_mode, label in (("buffered", "on"), ("off", "off")):
-            opts = preset.options(wal_mode=wal_mode)
-            run = run_workload(device, preset, write_fraction=0.9, seed=seed, options=opts)
-            hist = run.result.write_latency
-            res.add_row(
-                device=device,
-                wal=label,
-                write_p50_us=round(hist.percentile(50) / 1e3, 1),
-                write_p90_us=round(hist.percentile(90) / 1e3, 1),
-            )
+    grid = [
+        (device, wal_mode, label)
+        for device in DEVICES
+        for wal_mode, label in (("buffered", "on"), ("off", "off"))
+    ]
+    points = [
+        WorkloadPoint(
+            device, preset, write_fraction=0.9, seed=seed,
+            options=preset.options(wal_mode=wal_mode),
+        )
+        for device, wal_mode, _ in grid
+    ]
+    for (device, _, label), pr in zip(grid, run_points(points)):
+        hist = pr.result.write_latency
+        res.add_row(
+            device=device,
+            wal=label,
+            write_p50_us=round(hist.percentile(50) / 1e3, 1),
+            write_p90_us=round(hist.percentile(90) / 1e3, 1),
+        )
     return res
 
 
@@ -568,22 +691,23 @@ def fig18_two_stage(preset: Optional[ScalePreset] = None, seed: int = DEFAULT_SE
         period_ns=duration // 3,
         burst_ns=int(duration // 3 * 0.42),
     )
-    for label, factory in (
-        ("original", None),
-        ("two-stage", lambda engine, opts: TwoStageWriteController(engine, opts)),
-    ):
-        run = run_workload(
+    labels = ("original", "two-stage")
+    points = [
+        WorkloadPoint(
             "xpoint",
             preset,
             write_fraction=0.5,
             seed=seed,
             duration_ns=duration,
             schedule=schedule,
-            controller_factory=factory,
+            controller="" if label == "original" else "two-stage",
             warmup_fraction=0.1,
         )
-        series = run.result.timeline.series(
-            start=run.result.config.warmup_ns, end=duration
+        for label in labels
+    ]
+    for label, pr in zip(labels, run_points(points)):
+        series = pr.result.timeline.series(
+            start=pr.result.config.warmup_ns, end=duration
         )
         stats = throughput_variation(series)
         res.add_row(
@@ -615,22 +739,24 @@ def fig19_dynamic_l0(preset: Optional[ScalePreset] = None, seed: int = DEFAULT_S
             "ties at 5% reads"
         ),
     )
+    points = []
     for read_ratio in FIG19_READ_RATIOS:
         wf = 1.0 - read_ratio
-        base_opts = dynamic_l0_options(preset.options())
-        default_run = run_workload(
-            "xpoint", preset, write_fraction=wf, seed=seed, options=base_opts
-        )
-        dynamic_run = run_workload(
-            "xpoint",
-            preset,
-            write_fraction=wf,
-            seed=seed,
-            options=dynamic_l0_options(preset.options()),
-            dynamic_l0=True,
-        )
-        dk = default_run.result.kops
-        yk = dynamic_run.result.kops
+        for dynamic in (False, True):
+            points.append(
+                WorkloadPoint(
+                    "xpoint",
+                    preset,
+                    write_fraction=wf,
+                    seed=seed,
+                    options=dynamic_l0_options(preset.options()),
+                    dynamic_l0=dynamic,
+                )
+            )
+    results = run_points(points)
+    for i, read_ratio in enumerate(FIG19_READ_RATIOS):
+        dk = results[2 * i].result.kops
+        yk = results[2 * i + 1].result.kops
         res.add_row(
             read_ratio=read_ratio,
             default_kops=round(dk, 1),
@@ -655,17 +781,20 @@ def fig20_nvm_wal(preset: Optional[ScalePreset] = None, seed: int = DEFAULT_SEED
             "WAL-off remains the fastest"
         ),
     )
-    for config in logging_configurations():
-        opts = config.apply(preset.options())
-        run = run_workload(
+    configs = list(logging_configurations())
+    points = [
+        WorkloadPoint(
             "xpoint",
             preset,
             write_fraction=0.5,
             seed=seed,
-            options=opts,
+            options=config.apply(preset.options()),
             wal_on_nvm=config.wal_on_nvm,
         )
-        hist = run.result.write_latency
+        for config in configs
+    ]
+    for config, pr in zip(configs, run_points(points)):
+        hist = pr.result.write_latency
         res.add_row(
             config=config.label,
             write_p50_us=round(hist.percentile(50) / 1e3, 1),

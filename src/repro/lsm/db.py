@@ -95,7 +95,16 @@ class DB:
         self.costs = costs or DEFAULT_COSTS
         self.rng = rng or RandomStream(0, "db")
         self.stats = StatsSet()
+        # Hot-path histogram handles: stats.reset() clears histograms in
+        # place, so these references stay registered across resets.
+        self._write_latency = self.stats.histogram("write.latency")
+        self._read_latency = self.stats.histogram("read.latency")
         self._closed = False
+        # Per-DB memtable counter for RNG stream naming: forking off the
+        # process-global MemTable._ids would make a run's draws depend on
+        # whatever ran earlier in the same process, breaking bit-identity
+        # between serial and parallel (--jobs) sweeps.
+        self._memtable_seq = 0
 
         self.block_cache = BlockCache(self.options.block_cache_bytes)
         recovering = fs.exists("MANIFEST")
@@ -171,10 +180,11 @@ class DB:
     # ------------------------------------------------------------------ setup
 
     def _new_memtable(self) -> MemTable:
+        self._memtable_seq += 1
         mt = MemTable(
             rep=self.options.memtable_rep,
             entry_overhead=self.options.memtable_entry_overhead,
-            rng=self.rng.fork(f"memtable/{MemTable._ids + 1}"),
+            rng=self.rng.fork(f"memtable/{self._memtable_seq}"),
         )
         mt.min_log_number = self.wal.current_number if hasattr(self, "wal") else 0
         return mt
@@ -313,7 +323,7 @@ class DB:
 
         self.stats.inc("puts", len(batch.ops))
         latency = self.engine.now - start
-        self.stats.histogram("write.latency").record(latency)
+        self._write_latency.record(latency)
         return latency
 
     def _queue_for(self, batch: WriteBatch) -> WriteQueue:
@@ -382,9 +392,9 @@ class DB:
 
         leader.queue.wal_phase_done(group)
         yield from self._memtable_phase(leader)
-        self.engine.tracer.write_group(
-            group_start, self.engine.now, len(group.writers)
-        )
+        engine = self.engine
+        if engine._trace:
+            engine.tracer.write_group(group_start, engine.now, len(group.writers))
 
     def _memtable_phase(self, writer: Writer):
         """One group member applies its batch to the mutable memtable."""
@@ -463,7 +473,7 @@ class DB:
             yield cpu
         if not found or result is None:
             self.stats.inc("get.miss" if not found else "get.tombstone")
-        self.stats.histogram("read.latency").record(self.engine.now - start)
+        self._read_latency.record(self.engine.now - start)
         return result
 
     def _search_version(self, version, key: bytes, cpu: int):

@@ -27,6 +27,8 @@ from repro.sim.rng import RandomStream
 class MemTableRep:
     """Interface of a memtable representation."""
 
+    __slots__ = ()
+
     def insert(self, key: bytes, entry: Entry) -> bool:
         raise NotImplementedError
 
@@ -41,6 +43,8 @@ class MemTableRep:
 
 
 class SkipListRep(MemTableRep):
+    __slots__ = ("_list",)
+
     def __init__(self, rng: Optional[RandomStream] = None) -> None:
         self._list = SkipList(rng)
 
@@ -58,6 +62,8 @@ class SkipListRep(MemTableRep):
 
 
 class HashRep(MemTableRep):
+    __slots__ = ("_map",)
+
     def __init__(self) -> None:
         self._map: dict = {}
 
@@ -88,6 +94,18 @@ def make_rep(name: str, rng: Optional[RandomStream] = None) -> MemTableRep:
 class MemTable:
     """One write buffer; becomes immutable when full, then flushes to L0."""
 
+    __slots__ = (
+        "id",
+        "_rep",
+        "_entry_overhead",
+        "charged_bytes",
+        "immutable",
+        "first_seq",
+        "last_seq",
+        "flush_in_progress",
+        "min_log_number",
+    )
+
     _ids = 0
 
     def __init__(
@@ -107,6 +125,8 @@ class MemTable:
         # True while a FlushJob is writing this memtable out — the error
         # handler's resume pass skips those to avoid double flushes.
         self.flush_in_progress = False
+        # Oldest WAL number whose records this memtable holds (set by DB).
+        self.min_log_number = 0
 
     def __len__(self) -> int:
         return len(self._rep)
@@ -124,9 +144,7 @@ class MemTable:
         seq = entry[0]
         if self._rep.insert(key, entry):
             self.charged_bytes += entry_charge(key, entry, self._entry_overhead)
-        else:
-            # Overwrite: charge only the (possible) value growth.
-            self.charged_bytes += 0
+        # Overwrites charge nothing: the slot is reused in place.
         if self.first_seq is None:
             self.first_seq = seq
         self.last_seq = seq
@@ -154,6 +172,8 @@ class MemTable:
 
 class MemTableList:
     """The mutable memtable plus the queue of immutables awaiting flush."""
+
+    __slots__ = ("_factory", "mutable", "immutables")
 
     def __init__(self, factory) -> None:
         self._factory = factory

@@ -24,6 +24,8 @@ _NEXT0 = 2
 class SkipList:
     """Ordered map from ``bytes`` keys to opaque data, latest value wins."""
 
+    __slots__ = ("_rng", "_head", "_height", "_count")
+
     def __init__(self, rng: Optional[RandomStream] = None) -> None:
         self._rng = rng or RandomStream(0, "skiplist")
         self._head: list = [None, None] + [None] * MAX_HEIGHT
@@ -35,20 +37,23 @@ class SkipList:
 
     def _random_height(self) -> int:
         height = 1
-        while height < MAX_HEIGHT and self._rng.randint(1, _BRANCHING) == 1:
+        randint = self._rng.randint
+        while height < MAX_HEIGHT and randint(1, _BRANCHING) == 1:
             height += 1
         return height
 
     def _find_predecessors(self, key: bytes) -> list:
         """Nodes preceding ``key`` at each level (the update path)."""
-        update = [self._head] * MAX_HEIGHT
-        node = self._head
-        for level in range(self._height - 1, -1, -1):
-            nxt = node[_NEXT0 + level]
+        head = self._head
+        update = [head] * MAX_HEIGHT
+        node = head
+        for level in range(self._height + 1, _NEXT0 - 1, -1):
+            # ``level`` is the node-list slot (key/data offsets folded in).
+            nxt = node[level]
             while nxt is not None and nxt[_KEY] < key:
                 node = nxt
-                nxt = node[_NEXT0 + level]
-            update[level] = node
+                nxt = node[level]
+            update[level - _NEXT0] = node
         return update
 
     def insert(self, key: bytes, data: Any) -> bool:
@@ -72,11 +77,11 @@ class SkipList:
     def get(self, key: bytes) -> Optional[Any]:
         """Return the data for ``key`` or None."""
         node = self._head
-        for level in range(self._height - 1, -1, -1):
-            nxt = node[_NEXT0 + level]
+        for slot in range(self._height + 1, _NEXT0 - 1, -1):
+            nxt = node[slot]
             while nxt is not None and nxt[_KEY] < key:
                 node = nxt
-                nxt = node[_NEXT0 + level]
+                nxt = node[slot]
         candidate = node[_NEXT0]
         if candidate is not None and candidate[_KEY] == key:
             return candidate[_DATA]
@@ -88,11 +93,11 @@ class SkipList:
     def seek(self, key: bytes) -> Iterator[Tuple[bytes, Any]]:
         """Iterate (key, data) pairs starting at the first key >= ``key``."""
         node = self._head
-        for level in range(self._height - 1, -1, -1):
-            nxt = node[_NEXT0 + level]
+        for slot in range(self._height + 1, _NEXT0 - 1, -1):
+            nxt = node[slot]
             while nxt is not None and nxt[_KEY] < key:
                 node = nxt
-                nxt = node[_NEXT0 + level]
+                nxt = node[slot]
         node = node[_NEXT0]
         while node is not None:
             yield node[_KEY], node[_DATA]
@@ -110,9 +115,9 @@ class SkipList:
 
     def last_key(self) -> Optional[bytes]:
         node = self._head
-        for level in range(self._height - 1, -1, -1):
-            nxt = node[_NEXT0 + level]
+        for slot in range(self._height + 1, _NEXT0 - 1, -1):
+            nxt = node[slot]
             while nxt is not None:
                 node = nxt
-                nxt = node[_NEXT0 + level]
+                nxt = node[slot]
         return None if node is self._head else node[_KEY]

@@ -28,7 +28,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.errors import DBError, IOFaultError
 from repro.fs.filesystem import SimFile, SimFileSystem, TornRecord
 from repro.lsm.costs import CostModel
-from repro.lsm.format import Entry, records_checksum, wal_record_bytes
+from repro.lsm.format import Entry, entry_value_size, records_checksum
 from repro.lsm.io_retry import retry_gen
 from repro.lsm.options import WAL_OFF, WAL_SYNC, Options
 from repro.sim.engine import Engine, Event
@@ -163,10 +163,21 @@ class WalManager:
             return 0, None
         if self.current is None:
             raise DBError("WAL enabled but no live log file")
-        nbytes = sum(
-            wal_record_bytes(key, entry, self.options.wal_record_overhead)
-            for key, entry in records
-        )
+        # wal_record_bytes() unrolled: one call per record per group shows
+        # up in write-heavy profiles.  Same arithmetic, same result.
+        overhead = self.options.wal_record_overhead
+        nbytes = 0
+        for key, entry in records:
+            value = entry[2]
+            if value is None:
+                vsize = 0
+            elif value.__class__ is bytes:
+                vsize = len(value)
+            else:
+                vsize = getattr(value, "size", None)
+                if vsize is None:
+                    vsize = entry_value_size(entry)
+            nbytes += len(key) + vsize + overhead
         cpu = self.costs.wal_serialize(nbytes)
         if self.options.wal_compression:
             # Section VI: compress the log to trade CPU for I/O traffic.

@@ -345,13 +345,26 @@ NULL_TRACER = NullTracer()
 
 _active: Any = NULL_TRACER
 
+#: Module-level tracing switch, kept in sync by :func:`set_active_tracer`.
+#: Hot paths (the engine kernel, the storage device) cache a per-object
+#: copy of ``tracer.enabled`` at bind time; this flag is the cheap global
+#: answer for code without an engine at hand.  When it is False, untraced
+#: runs make no tracer calls at all — not even no-ops.
+ENABLED = False
+
 
 def set_active_tracer(tracer: Optional[Tracer]) -> None:
     """Install ``tracer`` for every Engine created from now on (None clears)."""
-    global _active
+    global _active, ENABLED
     _active = tracer if tracer is not None else NULL_TRACER
+    ENABLED = _active is not NULL_TRACER
 
 
 def active_tracer():
     """The tracer new engines bind to (NULL_TRACER when tracing is off)."""
     return _active
+
+
+def tracing_enabled() -> bool:
+    """True when a real tracer is globally active (see :data:`ENABLED`)."""
+    return ENABLED

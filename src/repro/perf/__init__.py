@@ -1,0 +1,32 @@
+"""Wall-clock performance layer.
+
+The simulator's host speed *is* experiment throughput: every figure is a
+sweep of (device, config, seed) points replayed through the DES kernel, so
+events-per-host-second bounds how much of the paper's design space a session
+can cover.  This package keeps that speed high and honest:
+
+* :mod:`repro.perf.parallel` — a deterministic multiprocessing point mapper
+  behind the harness/DST ``--jobs N`` flags.  Results are merged in point
+  order, so a parallel sweep is bit-identical to a serial one.
+* :mod:`repro.perf.bench` — wall-clock microbenchmarks (kernel event churn,
+  tiny-preset fillrandom/readrandom, one DST seed) with a fixed protocol
+  (GC disabled, one warmup, median of N) emitting ``BENCH_perf.json``, plus
+  baseline comparison with a host-speed calibration normalizer so a
+  committed baseline transfers across machines.
+
+Run ``python -m repro.perf --help`` for the CLI.
+"""
+
+from repro.perf.bench import (
+    BenchProtocol,
+    compare_reports,
+    run_benchmarks,
+)
+from repro.perf.parallel import map_points
+
+__all__ = [
+    "BenchProtocol",
+    "compare_reports",
+    "map_points",
+    "run_benchmarks",
+]

@@ -1,0 +1,98 @@
+"""CLI: run the wall-clock microbenchmarks and the perf-regression check.
+
+Usage::
+
+    python -m repro.perf                          # run, write BENCH_perf.json
+    python -m repro.perf --out report.json
+    python -m repro.perf --compare benchmarks/perf/baseline.json
+    python -m repro.perf --quick --runs 2         # CI-sized
+    python -m repro.perf --only kernel_churn fillrandom_tiny
+
+``--compare BASELINE`` exits non-zero if any benchmark's calibrated metric
+regresses more than ``--threshold`` (default 25 %) below the baseline.
+``--update-baseline`` rewrites the baseline from this run's results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.perf.bench import (
+    DEFAULT_THRESHOLD,
+    BenchProtocol,
+    compare_reports,
+    run_benchmarks,
+)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Wall-clock microbenchmarks and perf-regression checks.",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default="BENCH_perf.json",
+        help="write the JSON report here (default: BENCH_perf.json)",
+    )
+    parser.add_argument(
+        "--compare", metavar="BASELINE",
+        help="compare against a baseline report; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="allowed fractional drop before failing (default: 0.25)",
+    )
+    parser.add_argument("--runs", type=int, default=3, help="timed runs per benchmark")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="scale work sizes down ~4x (CI / smoke runs)",
+    )
+    parser.add_argument(
+        "--only", nargs="+", metavar="NAME",
+        help="run only these benchmarks (calibration is always included)",
+    )
+    parser.add_argument(
+        "--update-baseline", metavar="PATH",
+        help="also write this run's report as the new baseline",
+    )
+    args = parser.parse_args(argv)
+    if args.runs < 1:
+        parser.error("--runs must be >= 1")
+
+    protocol = BenchProtocol(runs=args.runs, quick=args.quick)
+
+    def progress(name, entry):
+        print(f"  {name}: {entry['value']:,.0f} {entry['unit']}", flush=True)
+
+    print(f"running microbenchmarks ({protocol.runs} runs, "
+          f"{'quick' if protocol.quick else 'full'} mode, median reported)")
+    report = run_benchmarks(protocol, only=args.only, progress=progress)
+
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[report -> {args.out}]")
+
+    if args.update_baseline:
+        with open(args.update_baseline, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[baseline -> {args.update_baseline}]")
+
+    if args.compare:
+        with open(args.compare, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        ok, lines = compare_reports(baseline, report, threshold=args.threshold)
+        print(f"comparing against {args.compare}:")
+        for line in lines:
+            print(line)
+        if not ok:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

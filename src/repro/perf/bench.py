@@ -1,0 +1,318 @@
+"""Wall-clock microbenchmarks and the perf-regression report format.
+
+Four microbenchmarks cover the layers whose host speed bounds experiment
+throughput:
+
+* ``calibration_spin`` — a fixed pure-Python loop measuring raw host speed.
+  It is *not* a benchmark of this codebase; it exists so reports recorded on
+  different machines can be compared: every other benchmark is also reported
+  *calibrated* (divided by the host's spin rate), and regression checks use
+  the calibrated value.  A slower CI runner scores lower on everything
+  including the spin, leaving the calibrated ratios stable.
+* ``kernel_churn`` — pure DES kernel event churn: process spawns, integer
+  sleeps, cross-process event fires and joins.  Reported in events/sec
+  (scheduled heap occurrences per host second).
+* ``fillrandom_tiny`` / ``readrandom_tiny`` — db_bench at the tiny preset,
+  100 % writes / 100 % reads.  Reported in simulated ops per host second.
+  Machine setup and prefill happen outside the timed region.
+* ``dst_seed0`` — one deterministic-simulation seed (workload + faults +
+  crash + recovery + verification), ops per host second.
+
+Protocol (see EXPERIMENTS.md): garbage collection disabled around the timed
+region, one untimed warmup run, then ``runs`` timed runs; the reported value
+is the median.  Every run rebuilds its universe from scratch so state never
+leaks between samples.
+"""
+
+from __future__ import annotations
+
+import gc
+import platform
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+SCHEMA = "repro.perf/1"
+
+#: Factor applied to per-benchmark work sizes in ``--quick`` mode.
+QUICK_SCALE = 0.25
+
+#: Default regression threshold: fail when a calibrated metric drops >25 %.
+DEFAULT_THRESHOLD = 0.25
+
+CALIBRATION = "calibration_spin"
+
+
+@dataclass(frozen=True)
+class BenchProtocol:
+    """The measurement protocol (documented in EXPERIMENTS.md)."""
+
+    runs: int = 3
+    warmup: bool = True
+    quick: bool = False
+
+    @property
+    def scale(self) -> float:
+        return QUICK_SCALE if self.quick else 1.0
+
+
+# A microbenchmark callable runs once at the given work scale and returns
+# ``(work_units, elapsed_seconds)`` for that single run.
+BenchFn = Callable[[float], Tuple[int, float]]
+
+
+def _scaled(n: int, scale: float, floor: int = 1) -> int:
+    return max(floor, int(n * scale))
+
+
+# -- the microbenchmarks ----------------------------------------------------
+
+
+def bench_calibration_spin(scale: float) -> Tuple[int, float]:
+    """Fixed pure-Python work: integer arithmetic in a tight loop."""
+    n = _scaled(2_000_000, scale)
+    t0 = time.perf_counter()
+    acc = 0
+    for i in range(n):
+        acc = (acc + i * 3) & 0xFFFFFFFF
+    elapsed = time.perf_counter() - t0
+    assert acc >= 0
+    return n, elapsed
+
+
+def bench_kernel_churn(scale: float) -> Tuple[int, float]:
+    """DES kernel hot loop: sleeps, events, spawns and joins, no I/O model."""
+    from repro.sim.engine import Engine
+
+    n_procs = 16
+    iters = _scaled(1200, scale)
+    engine = Engine()
+
+    def succeeder(ev, j):
+        yield 1
+        ev.succeed(j)
+
+    def joined(j):
+        yield 1 + (j & 1)
+        return j
+
+    def worker(pid):
+        for j in range(iters):
+            yield (pid + j) % 5 + 1
+            ev = engine.event()
+            engine.process(succeeder(ev, j), name="s")
+            got = yield ev
+            if got != j:
+                raise AssertionError("event value lost")
+            if j % 7 == 0:
+                yield engine.process(joined(j), name="j")
+
+    t0 = time.perf_counter()
+    for pid in range(n_procs):
+        engine.process(worker(pid), name=f"w{pid}")
+    engine.run()
+    elapsed = time.perf_counter() - t0
+    # Occurrences dispatched, counted analytically so the metric does not
+    # depend on kernel internals: per worker one spawn, then per iteration a
+    # sleep resume, a succeeder spawn, its sleep resume and the event wakeup,
+    # plus spawn + sleep + join wakeup on every 7th iteration.
+    joins = (iters + 6) // 7
+    events = n_procs * (1 + iters * 4 + joins * 3)
+    return events, elapsed
+
+
+def _bench_tiny_workload(scale: float, write_fraction: float) -> Tuple[int, float]:
+    from repro.harness.experiments import run_workload
+    from repro.harness.presets import preset_by_name
+    from repro.sim.units import seconds
+    from repro.workloads.db_bench import DbBench, DbBenchConfig
+    from repro.workloads.prefill import prefill
+
+    preset = preset_by_name("tiny")
+    duration = int(seconds(0.3) * max(scale, 0.25))
+    # Build the machine and prefill outside the timed region: the benchmark
+    # measures steady-state op throughput, not setup.
+    from repro.harness.machine import Machine
+    from repro.harness.experiments import DEVICES
+
+    machine = Machine.create(DEVICES["pcie-flash"](), preset.page_cache_bytes, seed=11)
+    db = machine.open_db(preset.options())
+    prefill(db, preset.prefill_spec())
+    cfg = DbBenchConfig(
+        processes=2,
+        duration_ns=duration,
+        write_fraction=write_fraction,
+        value_size=preset.value_size,
+        key_count=preset.key_count,
+        seed=11,
+        timeline_bucket_ns=max(1, duration // 10),
+    )
+    bench = DbBench(cfg)
+    t0 = time.perf_counter()
+    result = bench.run(db)
+    elapsed = time.perf_counter() - t0
+    return max(result.ops, 1), elapsed
+
+
+def bench_fillrandom_tiny(scale: float) -> Tuple[int, float]:
+    return _bench_tiny_workload(scale, write_fraction=1.0)
+
+
+def bench_readrandom_tiny(scale: float) -> Tuple[int, float]:
+    return _bench_tiny_workload(scale, write_fraction=0.0)
+
+
+def bench_dst_seed0(scale: float) -> Tuple[int, float]:
+    """One full DST cycle: workload, faults, crash, recovery, verification."""
+    from repro.dst.harness import DstConfig, DstRun
+
+    ops = _scaled(900, scale)
+    cfg = DstConfig(num_ops=ops, num_keys=60)
+    t0 = time.perf_counter()
+    result = DstRun(0, cfg).run()
+    elapsed = time.perf_counter() - t0
+    if not result.ok:
+        raise AssertionError(f"dst benchmark seed failed: {result.reason}")
+    return ops, elapsed
+
+
+BENCHMARKS: Dict[str, Tuple[BenchFn, str]] = {
+    CALIBRATION: (bench_calibration_spin, "spins/s"),
+    "kernel_churn": (bench_kernel_churn, "events/s"),
+    "fillrandom_tiny": (bench_fillrandom_tiny, "ops/s"),
+    "readrandom_tiny": (bench_readrandom_tiny, "ops/s"),
+    "dst_seed0": (bench_dst_seed0, "ops/s"),
+}
+
+
+# -- runner -----------------------------------------------------------------
+
+
+def _run_one(fn: BenchFn, protocol: BenchProtocol) -> Dict[str, object]:
+    gc_was_enabled = gc.isenabled()
+    samples: List[float] = []
+    work = 0
+    gc.disable()
+    try:
+        if protocol.warmup:
+            fn(protocol.scale)
+        for _ in range(protocol.runs):
+            gc.collect()
+            work, elapsed = fn(protocol.scale)
+            samples.append(work / elapsed if elapsed > 0 else 0.0)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return {
+        "value": statistics.median(samples),
+        "samples": [round(s, 2) for s in samples],
+        "work_units": work,
+    }
+
+
+def run_benchmarks(
+    protocol: Optional[BenchProtocol] = None,
+    only: Optional[Iterable[str]] = None,
+    progress: Optional[Callable[[str, Dict[str, object]], None]] = None,
+) -> Dict[str, object]:
+    """Run the microbenchmarks; return the ``BENCH_perf.json`` report dict.
+
+    ``only`` restricts the set (the calibration spin is always included so
+    the report stays comparable).  ``progress`` is called per benchmark with
+    ``(name, entry)`` as results land.
+    """
+    protocol = protocol or BenchProtocol()
+    names = list(BENCHMARKS) if only is None else list(only)
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        raise ValueError(f"unknown benchmark(s): {unknown}; have {sorted(BENCHMARKS)}")
+    if CALIBRATION not in names:
+        names.insert(0, CALIBRATION)
+
+    report: Dict[str, object] = {
+        "schema": SCHEMA,
+        "mode": "quick" if protocol.quick else "full",
+        "runs": protocol.runs,
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "benchmarks": {},
+    }
+    benchmarks: Dict[str, Dict[str, object]] = report["benchmarks"]  # type: ignore[assignment]
+    for name in names:
+        fn, unit = BENCHMARKS[name]
+        entry = _run_one(fn, protocol)
+        entry["unit"] = unit
+        benchmarks[name] = entry
+        if progress is not None:
+            progress(name, entry)
+
+    calib = benchmarks.get(CALIBRATION, {}).get("value", 0.0)
+    if calib:
+        for name, entry in benchmarks.items():
+            if name != CALIBRATION:
+                entry["calibrated"] = entry["value"] / calib  # type: ignore[operator]
+    return report
+
+
+# -- baseline comparison ----------------------------------------------------
+
+
+def _metric(report: Dict[str, object], name: str) -> Optional[float]:
+    """Calibrated metric when available, raw value otherwise."""
+    entry = report.get("benchmarks", {}).get(name)  # type: ignore[union-attr]
+    if not isinstance(entry, dict):
+        return None
+    value = entry.get("calibrated", entry.get("value"))
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+def compare_reports(
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Tuple[bool, List[str]]:
+    """Check ``current`` against ``baseline``; returns ``(ok, report_lines)``.
+
+    A benchmark regresses when its calibrated metric drops more than
+    ``threshold`` below the baseline's.  Benchmarks present on only one side
+    are reported but never fail the check (they have no baseline to regress
+    against).  Reports recorded in different modes (quick vs full) are not
+    comparable and fail immediately.
+    """
+    lines: List[str] = []
+    if baseline.get("mode") != current.get("mode"):
+        return False, [
+            f"mode mismatch: baseline={baseline.get('mode')!r} "
+            f"current={current.get('mode')!r} — regenerate the baseline"
+        ]
+    ok = True
+    base_benches = baseline.get("benchmarks", {})
+    cur_benches = current.get("benchmarks", {})
+    names = [n for n in cur_benches if n != CALIBRATION]
+    for name in names:
+        cur = _metric(current, name)
+        base = _metric(baseline, name)
+        if base is None:
+            lines.append(f"  {name}: no baseline (new benchmark), skipped")
+            continue
+        assert cur is not None
+        ratio = cur / base if base else float("inf")
+        status = "ok"
+        if ratio < 1.0 - threshold:
+            status = "REGRESSION"
+            ok = False
+        lines.append(
+            f"  {name}: {ratio:.2f}x of baseline "
+            f"(calibrated {cur:.4f} vs {base:.4f}) {status}"
+        )
+    missing = [n for n in base_benches if n not in cur_benches and n != CALIBRATION]
+    for name in missing:
+        lines.append(f"  {name}: present in baseline but not measured, skipped")
+    lines.append(
+        f"perf check {'PASSED' if ok else 'FAILED'} "
+        f"(threshold: -{threshold * 100:.0f}% calibrated)"
+    )
+    return ok, lines

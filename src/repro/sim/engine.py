@@ -36,6 +36,8 @@ seed replays identically.
 from __future__ import annotations
 
 import heapq
+from collections import deque
+from types import GeneratorType as _GeneratorType
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
@@ -44,6 +46,29 @@ from repro.obs.tracer import active_tracer
 ProcessGen = Generator[Any, Any, Any]
 
 _PENDING = object()
+
+# Hot-path bindings: module-level names resolve faster than attribute
+# lookups on ``heapq`` inside the kernel loops.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+# Heap entries are ``(when, seq, is_process, target, value, exc)``.  The
+# boolean type tag is precomputed at push time so the pop path never runs
+# ``isinstance``; it can never participate in tuple comparison because the
+# sequence number in slot 1 is unique.
+#
+# Delay-zero occurrences (process spawns, event-fire wakeups) skip the heap
+# entirely: they go to ``Engine._nowq``, a FIFO deque of
+# ``(is_process, target, value, exc)`` entries all due at the current clock
+# value.  Ordering stays exactly the heap's: a heap entry at ``when == now``
+# was pushed with a positive delay from an *earlier* time, i.e. before any
+# delay-zero entry enqueued at ``now``, so draining heap ties first replays
+# the old seq order while the common spawn/wakeup path costs one deque
+# append instead of a heappush + heappop.
+_PROC = True
+_EVENT = False
+
+_INF = float("inf")
 
 
 class Event:
@@ -56,8 +81,10 @@ class Event:
         self._value: Any = _PENDING
         self._exc: Optional[BaseException] = None
         self.triggered = False
-        # Processes blocked on this event, resumed in FIFO order.
-        self._waiters: list["Process"] = []
+        # Processes blocked on this event, resumed in FIFO order.  Allocated
+        # lazily (None until the first waiter): most events are waited on by
+        # at most one process, and many by none.
+        self._waiters: Optional[list["Process"]] = None
         # Plain callables invoked on trigger: callback(event).
         self.callbacks: list[Callable[["Event"], None]] = []
 
@@ -82,7 +109,16 @@ class Event:
             raise SimulationError("event triggered twice")
         self.triggered = True
         self._value = value
-        self._fire()
+        # _fire() inlined (succeed is the hot trigger path): wake waiters
+        # with a deque append each, then run callbacks if any.
+        waiters = self._waiters
+        if waiters:
+            nowq = self.engine._nowq
+            for proc in waiters:
+                nowq.append((_PROC, proc, value, None))
+            self._waiters = None
+        if self.callbacks:
+            self._run_callbacks()
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -97,16 +133,37 @@ class Event:
         return self
 
     def _fire(self) -> None:
-        engine = self.engine
-        for proc in self._waiters:
-            engine._schedule(proc, self._value, self._exc, 0)
-        self._waiters.clear()
-        for cb in self.callbacks:
-            cb(self)
-        self.callbacks.clear()
+        waiters = self._waiters
+        if waiters:
+            nowq = self.engine._nowq
+            value = self._value
+            exc = self._exc
+            for proc in waiters:
+                nowq.append((_PROC, proc, value, exc))
+            self._waiters = None
+        if self.callbacks:
+            self._run_callbacks()
+
+    def _run_callbacks(self) -> None:
+        # Snapshot the callback list before iterating: a callback that
+        # registers another callback on this event must see it run exactly
+        # once (appending to the list being iterated would double-run it;
+        # clearing afterwards would silently drop it).  Loop until no new
+        # callbacks appear.
+        while True:
+            callbacks = self.callbacks
+            if not callbacks:
+                return
+            self.callbacks = []
+            for cb in callbacks:
+                cb(self)
 
     def _add_waiter(self, proc: "Process") -> None:
-        self._waiters.append(proc)
+        waiters = self._waiters
+        if waiters is None:
+            self._waiters = [proc]
+        else:
+            waiters.append(proc)
 
 
 class Timeout(Event):
@@ -140,8 +197,13 @@ class AllOf(Event):
         self._children = list(events)
         self._remaining = 0
         for ev in self._children:
+            if self.triggered:
+                # An earlier child already failed the composite: attaching
+                # callbacks to the remaining children would leak them and
+                # re-enter fail() paths when those children trigger.
+                break
             if ev.triggered:
-                if ev._exc is not None and not self.triggered:
+                if ev._exc is not None:
                     self.fail(ev._exc)
                 continue
             self._remaining += 1
@@ -200,13 +262,21 @@ class Process(Event):
     __slots__ = ("gen", "name")
 
     def __init__(self, engine: "Engine", gen: ProcessGen, name: str = "") -> None:
-        super().__init__(engine)
-        if not hasattr(gen, "send"):
+        # Event.__init__ inlined: spawning is hot (one Process per simulated
+        # operation in the write path) and the extra call shows in profiles.
+        self.engine = engine
+        self._value = _PENDING
+        self._exc = None
+        self.triggered = False
+        self._waiters = None
+        self.callbacks = []
+        if gen.__class__ is not _GeneratorType and not hasattr(gen, "send"):
             raise SimulationError(f"Process requires a generator, got {type(gen).__name__}")
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
-        engine._schedule(self, None, None, 0)
-        engine.tracer.process_spawn(self.name)
+        engine._nowq.append((_PROC, self, None, None))
+        if engine._trace:
+            engine.tracer.process_spawn(self.name)
 
     @property
     def done(self) -> bool:
@@ -215,58 +285,6 @@ class Process(Event):
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.triggered else "active"
         return f"<Process {self.name} {state}>"
-
-    # -- kernel internals ---------------------------------------------------
-
-    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
-        """Advance the generator until it blocks again."""
-        gen = self.gen
-        engine = self.engine
-        while True:
-            try:
-                if exc is not None:
-                    pending_exc, exc = exc, None
-                    target = gen.throw(pending_exc)
-                else:
-                    target = gen.send(value)
-            except StopIteration as stop:
-                self.triggered = True
-                self._value = stop.value
-                self._fire()
-                engine.tracer.process_finish(self.name, True)
-                return
-            except BaseException as err:  # noqa: BLE001 - process crashed
-                self.triggered = True
-                self._exc = err
-                if not self._waiters and not self.callbacks:
-                    # Nobody is joining this process: surface the crash.
-                    engine._crashed.append(self)
-                self._fire()
-                engine.tracer.process_finish(self.name, False)
-                return
-
-            cls = target.__class__
-            if cls is int or cls is float:
-                if target < 0:
-                    exc = SimulationError(f"negative sleep: {target}")
-                    continue
-                if target == 0:
-                    value = engine.now
-                    continue
-                engine._schedule(self, None, None, int(target))
-                return
-            if isinstance(target, Event):
-                if target.triggered:
-                    if target._exc is not None:
-                        exc = target._exc
-                        continue
-                    value = target._value
-                    continue
-                target._add_waiter(self)
-                return
-            exc = SimulationError(
-                f"process {self.name!r} yielded unsupported value {target!r}"
-            )
 
 
 class Engine:
@@ -277,13 +295,29 @@ class Engine:
     tracer unless :func:`repro.obs.set_active_tracer` installed a real one).
     """
 
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_nowq",
+        "_seq",
+        "_running",
+        "_crashed",
+        "tracer",
+        "_trace",
+    )
+
     def __init__(self, tracer: Optional[Any] = None) -> None:
         self._now = 0
-        self._heap: list[tuple[int, int, Any, Any, Optional[BaseException]]] = []
+        self._heap: list[tuple[int, int, bool, Any, Any, Optional[BaseException]]] = []
+        # Delay-zero occurrences due at the current clock value (FIFO).
+        self._nowq: deque = deque()
         self._seq = 0
         self._running = False
         self._crashed: list[Process] = []
         self.tracer = (tracer if tracer is not None else active_tracer()).bind(self)
+        # Cached so hot paths skip even the no-op tracer calls when tracing
+        # is off (NullTracer.enabled is False; EngineTracer.enabled True).
+        self._trace = bool(self.tracer.enabled)
 
     # -- clock ----------------------------------------------------------------
 
@@ -322,36 +356,136 @@ class Engine:
             raise SimulationError("Engine.run() is not reentrant")
         self._running = True
         heap = self._heap
+        nowq = self._nowq
+        heappop = _heappop
+        heappush = _heappush
+        popleft = nowq.popleft
+        crashed_box = self._crashed
+        trace = self._trace
+        limit = _INF if until is None else until
+        now = self._now
         try:
-            while heap:
-                when = heap[0][0]
-                if until is not None and when > until:
-                    self._now = until
+            while True:
+                if nowq:
+                    # Heap entries tied at the current clock value predate
+                    # every queued delay-zero entry; drain them first.
+                    if heap and heap[0][0] <= now:
+                        when, _, is_proc, target, value, exc = heappop(heap)
+                        self._now = now = when
+                    else:
+                        is_proc, target, value, exc = popleft()
+                elif heap:
+                    when = heap[0][0]
+                    if when > limit:
+                        self._now = until
+                        break
+                    when, _, is_proc, target, value, exc = heappop(heap)
+                    self._now = now = when
+                else:
+                    if until is not None and self._now < until:
+                        self._now = until
                     break
-                _, _, target, value, exc = heapq.heappop(heap)
-                self._now = when
-                if target.__class__ is Process or isinstance(target, Process):
-                    target._step(value, exc)
-                else:  # a plain Event scheduled via _schedule_event
-                    if not target.triggered:
-                        if exc is not None:
-                            target.fail(exc)
-                        else:
-                            target.succeed(value)
-                if self._crashed:
-                    crashed = self._crashed[0]
+                if is_proc:
+                    # Process stepping inlined: advancing a generator is the
+                    # single hottest operation in the simulator, and a method
+                    # call per resume plus re-binding the engine state it
+                    # needs measurably slows every experiment.  Integer
+                    # sleeps push a heap entry directly (no allocation beyond
+                    # the entry tuple itself) with a precomputed type tag so
+                    # this loop never runs ``isinstance`` on the pop path.
+                    gen = target.gen
+                    send = gen.send
+                    while True:
+                        try:
+                            if exc is not None:
+                                pending_exc, exc = exc, None
+                                yielded = gen.throw(pending_exc)
+                            else:
+                                yielded = send(value)
+                        except StopIteration as stop:
+                            target.triggered = True
+                            target._value = stop.value
+                            if target._waiters is not None or target.callbacks:
+                                target._fire()
+                            if trace:
+                                self.tracer.process_finish(target.name, True)
+                            break
+                        except BaseException as err:  # noqa: BLE001 - crashed
+                            target.triggered = True
+                            target._exc = err
+                            if not target._waiters and not target.callbacks:
+                                # Nobody is joining this process: surface it.
+                                crashed_box.append(target)
+                            target._fire()
+                            if trace:
+                                self.tracer.process_finish(target.name, False)
+                            break
+
+                        cls = yielded.__class__
+                        if cls is int:
+                            # Zero-allocation sleep fast path (the most
+                            # common yield).
+                            if yielded > 0:
+                                self._seq = seq = self._seq + 1
+                                heappush(
+                                    heap,
+                                    (now + yielded, seq, True, target, None, None),
+                                )
+                                break
+                            if yielded == 0:
+                                value = now
+                                continue
+                            exc = SimulationError(f"negative sleep: {yielded}")
+                            continue
+                        if cls is float:
+                            if yielded < 0:
+                                exc = SimulationError(f"negative sleep: {yielded}")
+                                continue
+                            if yielded == 0:
+                                value = now
+                                continue
+                            self._seq = seq = self._seq + 1
+                            heappush(
+                                heap,
+                                (now + int(yielded), seq, True, target, None, None),
+                            )
+                            break
+                        if cls is Event or isinstance(yielded, Event):
+                            if yielded.triggered:
+                                if yielded._exc is not None:
+                                    exc = yielded._exc
+                                    continue
+                                value = yielded._value
+                                continue
+                            waiters = yielded._waiters
+                            if waiters is None:
+                                yielded._waiters = [target]
+                            else:
+                                waiters.append(target)
+                            break
+                        exc = SimulationError(
+                            f"process {target.name!r} yielded unsupported "
+                            f"value {yielded!r}"
+                        )
+                elif not target.triggered:
+                    # a plain Event scheduled via _schedule_event
+                    if exc is not None:
+                        target.fail(exc)
+                    else:
+                        target.succeed(value)
+                if crashed_box:
+                    crashed = crashed_box[0]
                     raise SimulationError(
                         f"process {crashed.name!r} crashed"
                     ) from crashed._exc
-            else:
-                if until is not None and self._now < until:
-                    self._now = until
         finally:
             self._running = False
         return self._now
 
     def peek(self) -> Optional[int]:
         """Timestamp of the next scheduled occurrence, or None if idle."""
+        if self._nowq:
+            return self._now
         return self._heap[0][0] if self._heap else None
 
     def clear_pending(self) -> int:
@@ -363,8 +497,9 @@ class Engine:
         """
         if self._running:
             raise SimulationError("clear_pending() during run() is not supported")
-        dropped = len(self._heap)
+        dropped = len(self._heap) + len(self._nowq)
         self._heap.clear()
+        self._nowq.clear()
         return dropped
 
     # -- kernel internals ---------------------------------------------------
@@ -376,9 +511,15 @@ class Engine:
         exc: Optional[BaseException],
         delay: int,
     ) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, proc, value, exc))
+        if delay:
+            self._seq += 1
+            _heappush(self._heap, (self._now + delay, self._seq, _PROC, proc, value, exc))
+        else:
+            self._nowq.append((_PROC, proc, value, exc))
 
     def _schedule_event(self, event: Event, value: Any, delay: int) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, event, value, None))
+        if delay:
+            self._seq += 1
+            _heappush(self._heap, (self._now + delay, self._seq, _EVENT, event, value, None))
+        else:
+            self._nowq.append((_EVENT, event, value, None))

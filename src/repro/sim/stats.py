@@ -24,6 +24,8 @@ class LatencyHistogram:
     O(log(max)) memory.  Percentile queries interpolate inside the bucket.
     """
 
+    __slots__ = ("name", "_buckets", "count", "total", "min", "max", "_sorted")
+
     def __init__(self, name: str = "") -> None:
         self.name = name
         self._buckets: Dict[int, int] = {}
@@ -31,6 +33,9 @@ class LatencyHistogram:
         self.total = 0
         self.min: Optional[int] = None
         self.max: Optional[int] = None
+        # Sorted bucket-index cache for percentile(); invalidated whenever a
+        # *new* bucket appears (record into an existing bucket keeps it).
+        self._sorted: Optional[List[int]] = None
 
     @staticmethod
     def _index(value: int) -> int:
@@ -55,8 +60,20 @@ class LatencyHistogram:
         """Record ``n`` occurrences of ``value`` (nanoseconds, typically)."""
         if value < 0:
             raise SimulationError(f"negative sample: {value}")
-        idx = self._index(value)
-        self._buckets[idx] = self._buckets.get(idx, 0) + n
+        # _index() inlined: one call per sample adds up at millions of ops.
+        if value < _SUBBUCKETS:
+            idx = value
+        else:
+            shift = value.bit_length() - 6  # lands value >> shift in [32, 64)
+            if shift < 0:
+                shift = 0
+            idx = (shift + 1) * _SUBBUCKETS + ((value >> shift) - _SUBBUCKETS)
+        buckets = self._buckets
+        if idx in buckets:
+            buckets[idx] += n
+        else:
+            buckets[idx] = n
+            self._sorted = None
         self.count += n
         self.total += value * n
         if self.min is None or value < self.min:
@@ -71,6 +88,7 @@ class LatencyHistogram:
         self.total = 0
         self.min = None
         self.max = None
+        self._sorted = None
 
     @property
     def mean(self) -> float:
@@ -84,7 +102,10 @@ class LatencyHistogram:
             return 0.0
         target = p / 100.0 * self.count
         seen = 0
-        for idx in sorted(self._buckets):
+        sorted_idx = self._sorted
+        if sorted_idx is None:
+            self._sorted = sorted_idx = sorted(self._buckets)
+        for idx in sorted_idx:
             n = self._buckets[idx]
             if seen + n >= target:
                 low, high = self._bucket_bounds(idx)
@@ -101,8 +122,13 @@ class LatencyHistogram:
 
     def merge(self, other: "LatencyHistogram") -> None:
         """Fold another histogram's samples into this one."""
+        buckets = self._buckets
         for idx, n in other._buckets.items():
-            self._buckets[idx] = self._buckets.get(idx, 0) + n
+            if idx in buckets:
+                buckets[idx] += n
+            else:
+                buckets[idx] = n
+                self._sorted = None
         self.count += other.count
         self.total += other.total
         if other.min is not None and (self.min is None or other.min < self.min):
@@ -128,6 +154,8 @@ class LatencyHistogram:
 class TimeSeries:
     """Per-bucket event counter over virtual time (throughput timelines)."""
 
+    __slots__ = ("bucket_ns", "name", "_buckets", "count")
+
     def __init__(self, bucket_ns: int = SEC, name: str = "") -> None:
         if bucket_ns <= 0:
             raise SimulationError(f"bucket width must be positive: {bucket_ns}")
@@ -138,7 +166,11 @@ class TimeSeries:
 
     def record(self, now: int, n: int = 1) -> None:
         idx = now // self.bucket_ns
-        self._buckets[idx] = self._buckets.get(idx, 0) + n
+        buckets = self._buckets
+        if idx in buckets:
+            buckets[idx] += n
+        else:
+            buckets[idx] = n
         self.count += n
 
     def series(self, start: int = 0, end: Optional[int] = None) -> List[Tuple[float, float]]:
@@ -161,18 +193,34 @@ class TimeSeries:
         ]
 
     def rate_between(self, start: int, end: int) -> float:
-        """Average events/second over the half-open interval [start, end)."""
+        """Average events/second over the half-open interval [start, end).
+
+        Counts buckets whose start timestamp lies in [start, end).  Only
+        the ``[start, end)`` index range is visited (a full scan of every
+        bucket ever recorded made this O(total run length) per call); when
+        the histogram is sparser than the queried range, the smaller bucket
+        dict is walked instead — both paths count exactly the same buckets.
+        """
         if end <= start:
             return 0.0
-        total = sum(
-            n for idx, n in self._buckets.items()
-            if start <= idx * self.bucket_ns < end
-        )
+        bucket_ns = self.bucket_ns
+        buckets = self._buckets
+        start_idx = -(-start // bucket_ns)  # first idx with idx*bucket >= start
+        end_idx = -(-end // bucket_ns)  # first idx with idx*bucket >= end
+        if end_idx - start_idx <= len(buckets):
+            get = buckets.get
+            total = sum(get(idx, 0) for idx in range(start_idx, end_idx))
+        else:
+            total = sum(
+                n for idx, n in buckets.items() if start_idx <= idx < end_idx
+            )
         return total * SEC / (end - start)
 
 
 class TimeWeightedGauge:
     """Time-weighted average of a stepwise value (e.g. queue length)."""
+
+    __slots__ = ("name", "_value", "_last_t", "_area", "_start", "max_value")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
@@ -214,12 +262,18 @@ class TimeWeightedGauge:
 class StatsSet:
     """A named bag of counters and histograms (RocksDB 'Statistics' analog)."""
 
+    __slots__ = ("_tickers", "_histograms")
+
     def __init__(self) -> None:
         self._tickers: Dict[str, int] = {}
         self._histograms: Dict[str, LatencyHistogram] = {}
 
     def inc(self, name: str, n: int = 1) -> None:
-        self._tickers[name] = self._tickers.get(name, 0) + n
+        tickers = self._tickers
+        if name in tickers:
+            tickers[name] += n
+        else:
+            tickers[name] = n
 
     def get(self, name: str) -> int:
         return self._tickers.get(name, 0)

@@ -34,7 +34,45 @@ WRITE = "write"
 
 
 class StorageDevice:
-    """A simulated block device driven by a :class:`DeviceProfile`."""
+    """A simulated block device driven by a :class:`DeviceProfile`.
+
+    ``__slots__`` and the cached ``_trace_enabled`` flag keep the per-request
+    bookkeeping cheap: ``_submit`` runs once per simulated I/O, which at
+    sweep scale means millions of host-level calls per experiment.
+    (Subclasses like FaultyDevice may add attributes freely — they carry
+    their own ``__dict__``.)
+    """
+
+    __slots__ = (
+        "engine",
+        "profile",
+        "rng",
+        "track_queue_depth",
+        "_tracer",
+        "_track",
+        "_observe",
+        "_trace_enabled",
+        "_channel_free",
+        "_channel_read_free",
+        "_channel_last_bg_service",
+        "_iface_read_free",
+        "_iface_write_free",
+        "_iface_fg_free",
+        "_iface_last_bg_transfer",
+        "_stripe_cursor",
+        "_gc_debt",
+        "_busy_ns",
+        "stats",
+        "read_latency",
+        "write_latency",
+        "queue_depth",
+        "_inflight",
+        "_reads",
+        "_writes",
+        "_bytes_read",
+        "_bytes_written",
+        "_gc_pauses",
+    )
 
     def __init__(
         self,
@@ -52,7 +90,8 @@ class StorageDevice:
         # for either queue-depth reporting or counter events.
         self._tracer = engine.tracer
         self._track = f"device/{profile.name}"
-        self._observe = track_queue_depth or self._tracer.enabled
+        self._trace_enabled = bool(self._tracer.enabled)
+        self._observe = track_queue_depth or self._trace_enabled
         # Per-channel cursors.  `_channel_free` is when all committed work
         # (reads + writes) drains; `_channel_read_free` is when the channel
         # could start a *read*: firmware gives reads priority over queued
@@ -188,23 +227,26 @@ class StorageDevice:
             self._bytes_written += nbytes
             self.write_latency.record(latency)
 
-        self._tracer.device_request(
-            self._track, op, now, start, finish, nbytes, sequential
-        )
+        if self._trace_enabled:
+            self._tracer.device_request(
+                self._track, op, now, start, finish, nbytes, sequential
+            )
         done = self.engine.timeout(latency)
         if self._observe:
             # Instantaneous in-flight requests, for queue-depth reporting
             # and queue-depth counter events in traces.
             self._inflight += 1
             self.queue_depth.update(now, self._inflight)
-            self._tracer.counter(self._track, "inflight", self._inflight)
+            if self._trace_enabled:
+                self._tracer.counter(self._track, "inflight", self._inflight)
             done.callbacks.append(self._on_complete)
         return done
 
     def _on_complete(self, _ev: Event) -> None:
         self._inflight -= 1
         self.queue_depth.update(self.engine.now, self._inflight)
-        self._tracer.counter(self._track, "inflight", self._inflight)
+        if self._trace_enabled:
+            self._tracer.counter(self._track, "inflight", self._inflight)
 
     def _submit_stripe(
         self, op: str, nbytes: int, sequential: bool, now: int
@@ -218,11 +260,13 @@ class StorageDevice:
             channel = self._stripe_cursor
             self._stripe_cursor = (self._stripe_cursor + 1) % prof.channels
         elif op is READ:
-            channel = min(
-                range(prof.channels), key=self._channel_read_free.__getitem__
-            )
+            # min()+index() run at C speed and pick the same channel as
+            # min(range(...), key=...): the first least-loaded one.
+            cursors = self._channel_read_free
+            channel = cursors.index(min(cursors))
         else:
-            channel = min(range(prof.channels), key=self._channel_free.__getitem__)
+            cursors = self._channel_free
+            channel = cursors.index(min(cursors))
 
         # Shared host interface: commands serialize on the link (or on the
         # per-direction lane for full-duplex interfaces).
@@ -297,7 +341,8 @@ class StorageDevice:
                 self._gc_debt -= prof.gc_interval_bytes
                 service += prof.gc_pause_ns
                 self._gc_pauses += 1
-                self._tracer.gc_pause(self._track, start, prof.gc_pause_ns)
+                if self._trace_enabled:
+                    self._tracer.gc_pause(self._track, start, prof.gc_pause_ns)
 
         finish = start + service
         if foreground:

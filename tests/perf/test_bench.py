@@ -1,0 +1,111 @@
+"""Tests for the perf-regression report format and CLI."""
+
+import json
+
+import pytest
+
+from repro.perf.bench import (
+    CALIBRATION,
+    SCHEMA,
+    BenchProtocol,
+    compare_reports,
+    run_benchmarks,
+)
+from repro.perf.__main__ import main as perf_main
+
+
+def _report(mode="full", **values):
+    benchmarks = {CALIBRATION: {"value": 1.0, "unit": "spins/s"}}
+    for name, calibrated in values.items():
+        benchmarks[name] = {
+            "value": calibrated,
+            "calibrated": calibrated,
+            "unit": "ops/s",
+        }
+    return {"schema": SCHEMA, "mode": mode, "benchmarks": benchmarks}
+
+
+def test_compare_passes_within_threshold():
+    ok, lines = compare_reports(
+        _report(kernel_churn=1.0, fill=0.80), _report(kernel_churn=0.80, fill=0.81)
+    )
+    assert ok
+    assert any("PASSED" in line for line in lines)
+
+
+def test_compare_fails_on_regression():
+    ok, lines = compare_reports(
+        _report(kernel_churn=1.0), _report(kernel_churn=0.70), threshold=0.25
+    )
+    assert not ok
+    assert any("REGRESSION" in line for line in lines)
+
+
+def test_compare_improvement_never_fails():
+    ok, _ = compare_reports(_report(kernel_churn=1.0), _report(kernel_churn=5.0))
+    assert ok
+
+
+def test_compare_mode_mismatch_fails():
+    ok, lines = compare_reports(_report(mode="full"), _report(mode="quick"))
+    assert not ok
+    assert any("mode mismatch" in line for line in lines)
+
+
+def test_compare_one_sided_benchmarks_are_skipped():
+    ok, lines = compare_reports(
+        _report(old_bench=1.0), _report(new_bench=1.0)
+    )
+    assert ok
+    assert any("no baseline" in line for line in lines)
+    assert any("not measured" in line for line in lines)
+
+
+def test_run_benchmarks_quick_smoke():
+    protocol = BenchProtocol(runs=1, warmup=False, quick=True)
+    report = run_benchmarks(protocol, only=["kernel_churn"])
+    assert report["schema"] == SCHEMA
+    assert report["mode"] == "quick"
+    benches = report["benchmarks"]
+    # calibration is always included so calibrated ratios exist
+    assert CALIBRATION in benches
+    churn = benches["kernel_churn"]
+    assert churn["value"] > 0
+    assert churn["unit"] == "events/s"
+    assert churn["calibrated"] > 0
+    assert len(churn["samples"]) == 1
+
+
+def test_run_benchmarks_rejects_unknown_names():
+    with pytest.raises(ValueError, match="unknown benchmark"):
+        run_benchmarks(BenchProtocol(runs=1, quick=True), only=["nope"])
+
+
+def test_cli_report_baseline_compare_roundtrip(tmp_path):
+    out = tmp_path / "BENCH_perf.json"
+    baseline = tmp_path / "baseline.json"
+    argv = [
+        "--quick", "--runs", "1", "--only", "kernel_churn",
+        "--out", str(out), "--update-baseline", str(baseline),
+    ]
+    assert perf_main(argv) == 0
+    report = json.loads(out.read_text())
+    assert report["schema"] == SCHEMA
+    assert json.loads(baseline.read_text()) == report
+
+    # comparing a run against its own baseline must pass...
+    assert perf_main([
+        "--quick", "--runs", "1", "--only", "kernel_churn",
+        "--out", str(out), "--compare", str(baseline),
+    ]) == 0
+
+    # ...and a doctored 2x-slower baseline must fail the check
+    for entry in report["benchmarks"].values():
+        entry["value"] *= 2
+        if "calibrated" in entry:
+            entry["calibrated"] *= 2
+    baseline.write_text(json.dumps(report))
+    assert perf_main([
+        "--quick", "--runs", "1", "--only", "kernel_churn",
+        "--out", str(out), "--compare", str(baseline),
+    ]) == 1
