@@ -25,6 +25,14 @@ repro.dst --seed N`` replays a seed; a failing seed prints a minimal
 repro command line.
 """
 
+from repro.dst.cluster import ClusterDstConfig, ClusterDstResult, ClusterDstRun
 from repro.dst.harness import DstConfig, DstResult, DstRun
 
-__all__ = ["DstConfig", "DstResult", "DstRun"]
+__all__ = [
+    "ClusterDstConfig",
+    "ClusterDstResult",
+    "ClusterDstRun",
+    "DstConfig",
+    "DstResult",
+    "DstRun",
+]

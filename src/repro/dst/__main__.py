@@ -14,6 +14,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.dst.cluster import ClusterDstConfig, ClusterDstRun
 from repro.dst.harness import DstConfig, DstResult, DstRun
 from repro.dst.storm import STORM_AUTO, STORM_KINDS, StormConfig, StormRun
 from repro.faults import FaultSchedule
@@ -39,6 +40,10 @@ def _repro_line(args: argparse.Namespace, seed: int) -> str:
         parts.append("--storm")
         if args.storm_kind != STORM_AUTO:
             parts.append(f"--storm-kind {args.storm_kind}")
+    if args.cluster:
+        parts.append("--cluster")
+        if args.nodes != 3:
+            parts.append(f"--nodes {args.nodes}")
     if args.ops != 300:
         parts.append(f"--ops {args.ops}")
     if args.keys != 40:
@@ -62,6 +67,13 @@ def _dst_seed_worker(item):
     seed, cfg_kwargs, selfcheck = item
     result = DstRun(seed, DstConfig(**cfg_kwargs)).run()
     again = DstRun(seed, DstConfig(**cfg_kwargs)).run() if selfcheck else None
+    return result, again
+
+
+def _cluster_seed_worker(item):
+    seed, cfg_kwargs, selfcheck = item
+    result = ClusterDstRun(seed, ClusterDstConfig(**cfg_kwargs)).run()
+    again = ClusterDstRun(seed, ClusterDstConfig(**cfg_kwargs)).run() if selfcheck else None
     return result, again
 
 
@@ -134,6 +146,61 @@ def _run_storm(args: argparse.Namespace, seeds: List[int]) -> int:
     return 1 if failures else 0
 
 
+def _run_cluster(args: argparse.Namespace, seeds: List[int]) -> int:
+    """The --cluster main loop: replication/failover invariant sweeps."""
+    schedule = FaultSchedule.from_file(args.replay) if args.replay else None
+    failures = 0
+    failovers = 0
+    cfg_kwargs = {
+        "num_ops": args.ops if args.ops != 300 else 160,
+        "num_keys": args.keys if args.keys != 40 else 24,
+        "n_nodes": args.nodes,
+        "faults": not args.no_faults,
+        "max_faults": args.max_faults,
+        "schedule": schedule,
+    }
+    items = [(seed, cfg_kwargs, args.selfcheck) for seed in seeds]
+    runs = imap_points(_cluster_seed_worker, items, jobs=args.jobs)
+    for seed, (result, again) in zip(seeds, runs):
+        if args.selfcheck:
+            if (
+                again.events != result.events
+                or again.verdict != result.verdict
+                or again.log_digest != result.log_digest
+            ):
+                print(f"seed={seed} NONDETERMINISTIC: reruns diverge")
+                for a, b in zip(result.events, again.events):
+                    if a != b:
+                        print(f"  first : {a}\n  second: {b}")
+                        break
+                failures += 1
+                continue
+        failovers += result.failovers
+        print(
+            f"seed={seed} {result.verdict} cut={result.cut}/{result.writes_issued} "
+            f"acked={result.writes_acked} failovers={result.failovers} "
+            f"crashes={result.crashes} "
+            f"converged={'y' if result.converged else 'n'} "
+            f"log={result.log_digest[:8]}"
+            + (" gave_up" if result.gave_up else "")
+            + (" deterministic" if args.selfcheck else "")
+        )
+        if args.log:
+            for line in result.events:
+                print(f"  {line}")
+        if args.save:
+            with open(args.save, "w", encoding="utf-8") as fh:
+                fh.write(result.schedule_json + "\n")
+            print(f"  schedule saved to {args.save}")
+        if not result.ok:
+            failures += 1
+            print(f"  reason: {result.reason}")
+            print(f"  repro: {_repro_line(args, seed)}")
+    if len(seeds) > 1:
+        print(f"cluster sweep: {failovers} failover(s) across {len(seeds)} seeds")
+    return 1 if failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.dst",
@@ -177,6 +244,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="storm flavour: io faults, disk-full squeeze, both, or per-seed auto",
     )
     parser.add_argument(
+        "--cluster",
+        action="store_true",
+        help="replicated-cluster mode: WAL shipping, quorum acks, partition/failover",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=3, help="cluster size for --cluster (default 3)"
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=default_jobs(),
@@ -186,10 +261,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.storm and args.cluster:
+        raise SystemExit("--storm and --cluster are mutually exclusive")
     if args.storm:
         if args.replay:
             raise SystemExit("--storm generates its own schedule; --replay invalid")
         return _run_storm(args, _parse_seeds(args))
+    if args.cluster:
+        return _run_cluster(args, _parse_seeds(args))
 
     schedule = FaultSchedule.from_file(args.replay) if args.replay else None
     failures = 0

@@ -32,8 +32,14 @@ from repro.faults.schedule import (
     CORRUPT_SST_BLOCK,
     CRASH,
     FAULT_KINDS,
+    HEAL,
     LATENCY_SPIKE,
+    NET_DELAY,
+    NET_DROP,
+    NET_KINDS,
+    PARTITION,
     READ_ERROR,
+    SCHEMA_VERSION,
     STALL,
     TORN_APPEND,
     WRITE_ERROR,
@@ -52,8 +58,14 @@ __all__ = [
     "FaultyDevice",
     "FaultyFile",
     "FaultyFileSystem",
+    "HEAL",
     "LATENCY_SPIKE",
+    "NET_DELAY",
+    "NET_DROP",
+    "NET_KINDS",
+    "PARTITION",
     "READ_ERROR",
+    "SCHEMA_VERSION",
     "STALL",
     "TORN_APPEND",
     "WRITE_ERROR",

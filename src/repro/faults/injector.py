@@ -28,6 +28,7 @@ from repro.faults.schedule import (
     DEVICE_KINDS,
     FS_KINDS,
     LATENCY_SPIKE,
+    NET_KINDS,
     READ_ERROR,
     STALL,
     TORN_APPEND,
@@ -70,7 +71,14 @@ class FaultInjector:
         self.crash_reason: Optional[str] = None
         self._device_states: List[_Armed] = []
         self._fs_states: List[_Armed] = []
+        #: Net-level specs are carried inertly: the injector's device/fs
+        #: hooks never fire them — they are interpreted by repro.net against
+        #: a cluster topology (see Network.install_schedule).
+        self.net_specs: List[FaultSpec] = []
         for spec in schedule or ():
+            if spec.kind in NET_KINDS:
+                self.net_specs.append(spec)
+                continue
             state = _Armed(spec)
             if spec.kind in DEVICE_KINDS:
                 self._device_states.append(state)

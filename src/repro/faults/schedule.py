@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import FaultConfigError
 from repro.sim.rng import RandomStream
@@ -37,9 +37,24 @@ TORN_APPEND = "torn_append"  # durable watermark lands mid-record
 CORRUPT_APPEND = "corrupt_append"  # appended range lands on bad media
 CORRUPT_SST_BLOCK = "corrupt_sst_block"  # flip a block checksum in the SST payload
 
+# Network-level faults (interpreted by repro.net against a cluster topology).
+PARTITION = "partition"  # isolate `nodes` from the rest for a window
+HEAL = "heal"  # close every partition window open at `at_time`
+NET_DELAY = "net_delay"  # add extra_ns to message latency for a window
+NET_DROP = "net_drop"  # drop messages with probability drop_p for a window
+
 DEVICE_KINDS = frozenset({READ_ERROR, WRITE_ERROR, LATENCY_SPIKE, STALL, CRASH})
 FS_KINDS = frozenset({TORN_APPEND, CORRUPT_APPEND, CORRUPT_SST_BLOCK})
-FAULT_KINDS = DEVICE_KINDS | FS_KINDS
+NET_KINDS = frozenset({PARTITION, HEAL, NET_DELAY, NET_DROP})
+FAULT_KINDS = DEVICE_KINDS | FS_KINDS | NET_KINDS
+
+#: Current schema version for serialized schedules.  Version 1 is the bare
+#: JSON list emitted before net faults existed; version 2 wraps the list in
+#: ``{"version": 2, "specs": [...]}`` and adds the net kinds plus the
+#: ``node``/``nodes``/``drop_p`` fields.  :meth:`FaultSchedule.to_json` only
+#: emits the v2 envelope when a spec actually needs it, so every schedule
+#: expressible in v1 still serializes byte-identically to the v1 form.
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -62,10 +77,13 @@ class FaultSpec:
     at_op: Optional[int] = None  # 1-based matching-op count
     path: Optional[str] = None  # path prefix filter (fs kinds only)
     count: int = 1
-    extra_ns: int = 0  # added latency (latency_spike / stall)
+    extra_ns: int = 0  # added latency (latency_spike / stall / net_delay)
     transient: bool = True  # IOFaultError retryability (errors)
     block: Optional[int] = None  # block index (corrupt_sst_block)
     until_time: Optional[int] = None  # retire after this virtual ns (storm window)
+    node: Optional[int] = None  # target node id (cluster runs; v2 schema)
+    nodes: Optional[Tuple[int, ...]] = None  # isolated group (partition; v2)
+    drop_p: float = 0.0  # message drop probability (net_drop; v2)
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -89,6 +107,42 @@ class FaultSpec:
                 )
         if self.path is not None and self.kind in DEVICE_KINDS:
             raise FaultConfigError(f"{self.kind} is device-wide; path filter invalid")
+        if self.nodes is not None and not isinstance(self.nodes, tuple):
+            # JSON round-trips tuples as lists; normalize so spec equality
+            # (and therefore schedule round-trip tests) compare stably.
+            object.__setattr__(self, "nodes", tuple(self.nodes))
+        if not 0.0 <= self.drop_p <= 1.0:
+            raise FaultConfigError(f"drop_p must be in [0, 1], got {self.drop_p}")
+        if self.kind in NET_KINDS:
+            if self.at_time is None:
+                raise FaultConfigError(f"{self.kind} needs at_time")
+            if self.at_op is not None:
+                raise FaultConfigError(f"{self.kind} is time-driven; at_op invalid")
+            if self.path is not None:
+                raise FaultConfigError(f"{self.kind} is link-level; path invalid")
+            if self.kind == PARTITION and not self.nodes:
+                raise FaultConfigError("partition needs a non-empty nodes group")
+            if self.kind == NET_DELAY and self.extra_ns <= 0:
+                raise FaultConfigError("net_delay needs extra_ns > 0")
+            if self.kind == NET_DROP and self.drop_p <= 0.0:
+                raise FaultConfigError("net_drop needs drop_p > 0")
+        else:
+            if self.nodes is not None:
+                raise FaultConfigError(f"nodes group is partition-only, not {self.kind}")
+            if self.drop_p != 0.0:
+                raise FaultConfigError(f"drop_p is net_drop-only, not {self.kind}")
+        if self.node is not None and self.node < 0:
+            raise FaultConfigError(f"node must be >= 0, got {self.node}")
+
+    @property
+    def needs_v2(self) -> bool:
+        """True when this spec cannot be expressed in the v1 schema."""
+        return (
+            self.kind in NET_KINDS
+            or self.node is not None
+            or self.nodes is not None
+            or self.drop_p != 0.0
+        )
 
     def to_dict(self) -> dict:
         """Dict form with defaulted fields elided (stable JSON)."""
@@ -128,7 +182,16 @@ class FaultSchedule:
     # -- serialisation -----------------------------------------------------
 
     def to_json(self) -> str:
-        return json.dumps([s.to_dict() for s in self.specs], indent=2)
+        """Serialize; v1 bare list unless a spec needs the v2 envelope.
+
+        Every schedule expressible before the net-fault extension keeps its
+        exact v1 byte form, so saved schedules (and DST ``schedule_json``
+        digests) replay unchanged.
+        """
+        specs = [s.to_dict() for s in self.specs]
+        if any(s.needs_v2 for s in self.specs):
+            return json.dumps({"version": SCHEMA_VERSION, "specs": specs}, indent=2)
+        return json.dumps(specs, indent=2)
 
     @classmethod
     def from_json(cls, text: str) -> "FaultSchedule":
@@ -136,6 +199,19 @@ class FaultSchedule:
             data = json.loads(text)
         except ValueError as exc:
             raise FaultConfigError(f"unparseable schedule: {exc}") from exc
+        if isinstance(data, dict):
+            version = data.get("version")
+            if not isinstance(version, int) or "specs" not in data:
+                raise FaultConfigError(
+                    "schedule JSON must be a list of specs (v1) or a "
+                    "versioned object with 'version' and 'specs' (v2)"
+                )
+            if not 1 <= version <= SCHEMA_VERSION:
+                raise FaultConfigError(
+                    f"unsupported schedule schema version {version} "
+                    f"(this build reads <= {SCHEMA_VERSION})"
+                )
+            data = data["specs"]
         if not isinstance(data, list):
             raise FaultConfigError("schedule JSON must be a list of specs")
         return cls([FaultSpec.from_dict(d) for d in data])
@@ -204,4 +280,70 @@ class FaultSchedule:
             else:  # CORRUPT_APPEND
                 path = wal_prefix if rng.chance(0.5) else sst_prefix
                 specs.append(FaultSpec(kind, at_time=at_time, path=path))
+        return cls(specs)
+
+    @classmethod
+    def random_cluster(
+        cls,
+        rng: RandomStream,
+        horizon_ns: int,
+        n_nodes: int,
+        max_faults: int = 4,
+        crash_p: float = 0.6,
+    ) -> "FaultSchedule":
+        """Draw a cluster schedule: net windows plus at most one node crash.
+
+        Partitions either carry their own ``until_time`` window or stay open
+        until an explicit ``HEAL`` event, so both closing mechanisms get
+        seed coverage.  At most one node crash is drawn (the DST invariants
+        are stated against single-node crashes; quorum loss from multiple
+        simultaneous crashes is a different test shape).
+        """
+        if n_nodes < 2:
+            raise FaultConfigError(f"cluster schedules need >= 2 nodes, got {n_nodes}")
+        specs: List[FaultSpec] = []
+        net_kinds = (PARTITION, NET_DELAY, NET_DROP)
+        for _ in range(rng.randint(1, max_faults)):
+            kind = net_kinds[rng.randint(0, len(net_kinds) - 1)]
+            at_time = rng.randint(horizon_ns // 20, (horizon_ns * 3) // 4)
+            until = at_time + rng.randint(horizon_ns // 20, horizon_ns // 4)
+            if kind == PARTITION:
+                # Isolate a strict minority-or-half group from the rest.
+                group_size = rng.randint(1, max(1, n_nodes // 2))
+                members = list(range(n_nodes))
+                rng.shuffle(members)
+                group = tuple(sorted(members[:group_size]))
+                if rng.chance(0.5):
+                    specs.append(
+                        FaultSpec(kind, at_time=at_time, until_time=until, nodes=group)
+                    )
+                else:
+                    specs.append(FaultSpec(kind, at_time=at_time, nodes=group))
+                    specs.append(FaultSpec(HEAL, at_time=until))
+            elif kind == NET_DELAY:
+                specs.append(
+                    FaultSpec(
+                        kind,
+                        at_time=at_time,
+                        until_time=until,
+                        extra_ns=rng.randint(us(200), ms(5)),
+                    )
+                )
+            else:  # NET_DROP
+                specs.append(
+                    FaultSpec(
+                        kind,
+                        at_time=at_time,
+                        until_time=until,
+                        drop_p=rng.uniform(0.05, 0.5),
+                    )
+                )
+        if rng.chance(crash_p):
+            specs.append(
+                FaultSpec(
+                    CRASH,
+                    at_time=rng.randint(horizon_ns // 10, (horizon_ns * 3) // 4),
+                    node=rng.randint(0, n_nodes - 1),
+                )
+            )
         return cls(specs)

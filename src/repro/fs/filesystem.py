@@ -155,9 +155,13 @@ class SimFile:
             self.fs.stats.inc("writeback_errors")
             return ev
         flushed_to = self.size
+        epoch = self.fs.epoch
 
         def _mark(_ev: Event, size: int = flushed_to, f: "SimFile" = self) -> None:
-            if size > f.synced_size:
+            # A completion issued before a node-local power failure must not
+            # resurrect bytes the failure already discarded: the filesystem
+            # epoch is bumped on power_fail(), so stale completions no-op.
+            if f.fs.epoch == epoch and size > f.synced_size:
                 f.synced_size = size
 
         if ev is not None:
@@ -173,11 +177,22 @@ class SimFile:
         passes — callers own the retry policy).
         """
         self._check_alive()
+        epoch = self.fs.epoch
         self._start_flush()
         pending = [ev for ev in self._pending_flushes if not ev.triggered]
         self._pending_flushes = pending
         if pending:
             yield self.fs.engine.all_of(pending)
+        if self.fs.epoch != epoch:
+            # The filesystem power-failed while this fsync was in flight
+            # (node-local crash with the engine still running): the dirty
+            # bytes are gone and must not be marked durable.
+            self.fs.stats.inc("fsync_errors")
+            raise IOFaultError(
+                f"power failure during fsync of {self.path}",
+                op="fsync",
+                transient=False,
+            )
         if self.pending_io_error is not None:
             exc, self.pending_io_error = self.pending_io_error, None
             self.fs.stats.inc("fsync_errors")
@@ -270,6 +285,12 @@ class SimFileSystem:
         self.writeback_bytes = writeback_bytes
         self.dirty_limit_bytes = dirty_limit_bytes
         self.stats = StatsSet()
+        # Incremented on every power failure.  In-flight writeback
+        # completions and suspended fsyncs capture the epoch they started
+        # under and refuse to act once it changes — required for node-local
+        # crashes in cluster runs, where the engine keeps running while one
+        # node's filesystem loses power.
+        self.epoch = 0
         self._files: Dict[str, SimFile] = {}
         self._next_file_id = 1
         self._next_extent = 0
@@ -400,7 +421,17 @@ class SimFileSystem:
     # -- crash simulation --------------------------------------------------------
 
     def crash(self) -> None:
-        """Simulate power loss: un-synced data vanishes.
+        """Simulate whole-machine power loss: un-synced data vanishes.
+
+        All in-flight simulated work dies with the machine (the engine's
+        pending occurrences are cancelled), then the filesystem state is
+        rolled back to its durable watermarks via :meth:`power_fail`.
+        """
+        self.engine.clear_pending()
+        self.power_fail()
+
+    def power_fail(self) -> None:
+        """Roll this filesystem back to its durable watermarks.
 
         Every file is truncated to its durable watermark and its cached pages
         dropped; owners must rebuild state from ``records`` that fall below
@@ -408,10 +439,14 @@ class SimFileSystem:
         write — only possible under fault injection, since normal writeback
         advances the watermark at record granularity) the partial tail is
         kept as a :class:`TornRecord`, which checksum-verifying replay must
-        detect and truncate.  All in-flight simulated work dies with the
-        machine (the engine's pending occurrences are cancelled).
+        detect and truncate.
+
+        Unlike :meth:`crash`, the engine is *not* cleared: cluster runs
+        power-fail one node while the rest of the machine keeps simulating.
+        The epoch bump makes any still-scheduled writeback completion or
+        suspended fsync for this filesystem a no-op / typed failure.
         """
-        self.engine.clear_pending()
+        self.epoch += 1
         for f in self._files.values():
             f.size = f.synced_size
             f._flushed_size = min(f._flushed_size, f.size)

@@ -436,6 +436,50 @@ class DB:
         self.engine.tracer.instant("db", "memtable.switch")
         self._update_stall_state()
 
+    def apply_replicated(self, records: List[Tuple[bytes, Entry]]):
+        """Generator: apply leader-assigned records on a follower.
+
+        ``records`` are ``(key, entry)`` pairs whose entries already carry
+        the *leader's* sequence numbers — the replication twin of the leader
+        write path: append one group record to the local WAL (syncing per
+        ``wal_mode``), insert into the memtable, advance ``last_sequence``.
+        Groups must be applied in leader-log order; the cluster layer's
+        per-follower sequence tracking guarantees that.
+        """
+        self._check_open()
+        if not records:
+            return
+        if self.error_handler.severity:
+            self.error_handler.check_writable()
+        if self.memtables.mutable.charged_bytes >= self.options.write_buffer_size:
+            yield from self._switch_memtable()
+        wal_number = self.wal.current_number
+        try:
+            wal_cpu, wal_event = self.wal.add_group(records)
+            if wal_cpu:
+                yield wal_cpu
+            if wal_event is not None:
+                yield wal_event
+        except GeneratorExit:
+            raise
+        except BaseException as exc:
+            if isinstance(exc, (IOFaultError, OutOfSpaceError)):
+                self.error_handler.on_background_error("wal", exc)
+            raise
+        mt = self.memtables.mutable
+        if self.wal.enabled and wal_number:
+            mt.min_log_number = min(mt.min_log_number, wal_number)
+        cpu = 0
+        for key, entry in records:
+            cpu += self.costs.memtable_insert(mt.entry_count)
+            mt.add(key, entry)
+        if cpu:
+            yield cpu
+        last = records[-1][1][0]
+        if last > self.versions.last_sequence:
+            self.versions.last_sequence = last
+        self.stats.inc("replicated_applies")
+
     # -------------------------------------------------------------------- reads
 
     def get(self, key: bytes):

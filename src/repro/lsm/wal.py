@@ -114,6 +114,11 @@ class WalManager:
         self.current_number = 0
         self._live: List[Tuple[int, SimFile]] = []  # (number, file), oldest first
         self.bytes_written = 0
+        # Replication tap: when set, called as ``on_group(records, nbytes)``
+        # for every appended group *after* the local append is issued.  The
+        # cluster layer uses this on the leader to ship WAL records; None
+        # (the default) costs nothing on the single-node path.
+        self.on_group = None
         if options.wal_mode != WAL_OFF:
             # Adopt pre-existing (pre-crash) logs: they stay live until the
             # memtable holding their replayed records is flushed.
@@ -190,6 +195,8 @@ class WalManager:
         # memcpy.  This is the per-write gap case study C removes.
         cpu += self.fs.device.profile.seq_write_base_ns // 2
         backpressure = self.current.append(nbytes, record=WalRecord(records))
+        if self.on_group is not None:
+            self.on_group(records, nbytes)
         if self.options.wal_mode == WAL_SYNC:
             return cpu, self._sync_event()
         return cpu, backpressure

@@ -1,0 +1,250 @@
+"""Simulated point-to-point links between cluster nodes.
+
+The model is intentionally message-level (no TCP): each ``send`` draws a
+one-way latency from the link's named RNG substream, serializes the payload
+through the link's bandwidth (back-to-back sends queue behind each other's
+serialization time), and schedules delivery into the destination inbox via a
+single engine timeout.  Loss, duplication, partitions, delay storms, and
+drop windows all decide at send time from the virtual clock, which keeps a
+run a pure function of (seed, schedule, workload).
+
+Fault windows come from :class:`~repro.faults.schedule.FaultSpec`:
+
+* ``partition`` — messages crossing the ``nodes`` group boundary are
+  dropped while the window is open (``at_time`` .. ``until_time`` or until
+  an explicit ``heal``);
+* ``heal`` — closes every partition window still open at its ``at_time``
+  (applied at install time: windows are static data);
+* ``net_delay`` — adds ``extra_ns`` to the drawn latency inside a window;
+* ``net_drop`` — drops messages with probability ``drop_p`` inside a window.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.faults.schedule import HEAL, NET_DELAY, NET_DROP, PARTITION, FaultSpec
+from repro.sim.engine import Engine, Event
+from repro.sim.resources import Store
+from repro.sim.rng import RandomStream
+from repro.sim.stats import StatsSet
+from repro.sim.units import SEC, us
+
+#: Sentinel end for a partition that stays open until healed.
+_OPEN = (1 << 62)
+
+
+class NetConfig:
+    """Link parameters shared by every link of a :class:`Network`."""
+
+    __slots__ = (
+        "latency_ns",
+        "jitter",
+        "bandwidth_bytes_per_sec",
+        "loss_p",
+        "dup_p",
+    )
+
+    def __init__(
+        self,
+        latency_ns: int = us(50),
+        jitter: float = 0.1,
+        bandwidth_bytes_per_sec: int = 1_250_000_000,  # ~10 Gbit/s
+        loss_p: float = 0.0,
+        dup_p: float = 0.0,
+    ) -> None:
+        if latency_ns < 0:
+            raise SimulationError(f"latency_ns must be >= 0, got {latency_ns}")
+        if bandwidth_bytes_per_sec <= 0:
+            raise SimulationError(
+                f"bandwidth must be > 0 bytes/s, got {bandwidth_bytes_per_sec}"
+            )
+        if not 0.0 <= loss_p < 1.0:
+            raise SimulationError(f"loss_p must be in [0, 1), got {loss_p}")
+        if not 0.0 <= dup_p < 1.0:
+            raise SimulationError(f"dup_p must be in [0, 1), got {dup_p}")
+        self.latency_ns = latency_ns
+        self.jitter = jitter
+        self.bandwidth_bytes_per_sec = bandwidth_bytes_per_sec
+        self.loss_p = loss_p
+        self.dup_p = dup_p
+
+
+class Link:
+    """One directed link: its RNG substream and bandwidth occupancy."""
+
+    __slots__ = ("rng", "busy_until")
+
+    def __init__(self, rng: RandomStream) -> None:
+        self.rng = rng
+        self.busy_until = 0
+
+
+class _Window:
+    """One active fault window (partition / delay / drop)."""
+
+    __slots__ = ("kind", "start", "end", "group", "extra_ns", "drop_p")
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.kind = spec.kind
+        self.start = spec.at_time
+        self.end = spec.until_time if spec.until_time is not None else _OPEN
+        self.group = frozenset(spec.nodes) if spec.nodes else frozenset()
+        self.extra_ns = spec.extra_ns
+        self.drop_p = spec.drop_p
+
+    def active(self, now: int) -> bool:
+        return self.start <= now < self.end
+
+
+class Network:
+    """N node inboxes joined by deterministic point-to-point links."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        n_nodes: int,
+        rng: RandomStream,
+        config: Optional[NetConfig] = None,
+    ) -> None:
+        if n_nodes < 1:
+            raise SimulationError(f"network needs >= 1 node, got {n_nodes}")
+        self.engine = engine
+        self.n_nodes = n_nodes
+        self.config = config if config is not None else NetConfig()
+        self.rng = rng
+        self.inboxes: List[Store] = [Store(engine) for _ in range(n_nodes)]
+        self.down: List[bool] = [False] * n_nodes
+        self.stats = StatsSet()
+        self.log: List[str] = []
+        self._links: Dict[Tuple[int, int], Link] = {}
+        self._windows: List[_Window] = []
+
+    # -- topology state ----------------------------------------------------
+
+    def link(self, src: int, dst: int) -> Link:
+        """The directed (src, dst) link, created on first use.
+
+        Lazy creation is safe because the RNG substream is derived from the
+        link *name*, not from creation order.
+        """
+        key = (src, dst)
+        lk = self._links.get(key)
+        if lk is None:
+            lk = Link(self.rng.fork(f"link/{src}->{dst}"))
+            self._links[key] = lk
+        return lk
+
+    def set_down(self, node: int) -> None:
+        """Mark a node crashed: no messages flow to or from it."""
+        self.down[node] = True
+        self._record(f"node {node} down")
+
+    def set_up(self, node: int) -> None:
+        self.down[node] = False
+        self._record(f"node {node} up")
+
+    # -- fault windows -----------------------------------------------------
+
+    def install_schedule(self, specs: List[FaultSpec]) -> None:
+        """Install the net-level specs of a schedule as static windows.
+
+        ``heal`` events are resolved here: each one closes every partition
+        window still open at its ``at_time``.  Spec order is the tie-break,
+        matching the injector's convention.
+        """
+        for spec in specs:
+            if spec.kind == HEAL:
+                for w in self._windows:
+                    if w.kind == PARTITION and w.start < spec.at_time < w.end:
+                        w.end = spec.at_time
+                continue
+            if spec.kind in (PARTITION, NET_DELAY, NET_DROP):
+                self._windows.append(_Window(spec))
+
+    def partition(self, nodes) -> None:
+        """Manually isolate ``nodes`` from the rest, starting now."""
+        spec = FaultSpec(PARTITION, at_time=self.engine.now, nodes=tuple(nodes))
+        self._windows.append(_Window(spec))
+        self._record(f"partition {sorted(spec.nodes)}")
+
+    def heal(self) -> None:
+        """Close every partition window still open now."""
+        now = self.engine.now
+        for w in self._windows:
+            if w.kind == PARTITION and w.active(now):
+                w.end = now
+        self._record("heal")
+
+    def partitioned(self, src: int, dst: int, now: Optional[int] = None) -> bool:
+        """True when a partition window separates src and dst right now."""
+        if now is None:
+            now = self.engine.now
+        for w in self._windows:
+            if w.kind != PARTITION or not w.active(now):
+                continue
+            if (src in w.group) != (dst in w.group):
+                return True
+        return False
+
+    # -- the data path -----------------------------------------------------
+
+    def send(self, src: int, dst: int, msg: Any, nbytes: int = 0) -> None:
+        """Ship one message; delivery (if any) is scheduled and returns.
+
+        Fire-and-forget like UDP: callers needing acknowledgement build it
+        in the protocol above (the cluster layer's retry/timeout loop).
+        """
+        now = self.engine.now
+        self.stats.inc("net.sends")
+        if self.down[src] or self.down[dst]:
+            self.stats.inc("net.dropped_down")
+            return
+        if self.partitioned(src, dst, now):
+            self.stats.inc("net.dropped_partition")
+            self._record(f"drop(partition) {src}->{dst}")
+            return
+        cfg = self.config
+        lk = self.link(src, dst)
+        drop_p = cfg.loss_p
+        extra_ns = 0
+        for w in self._windows:
+            if not w.active(now):
+                continue
+            if w.kind == NET_DROP:
+                drop_p = min(1.0, drop_p + w.drop_p)
+            elif w.kind == NET_DELAY:
+                extra_ns += w.extra_ns
+        if drop_p > 0.0 and lk.rng.chance(drop_p):
+            self.stats.inc("net.dropped_loss")
+            self._record(f"drop(loss) {src}->{dst}")
+            return
+        serialize = (nbytes * SEC) // cfg.bandwidth_bytes_per_sec
+        depart = max(now, lk.busy_until) + serialize
+        lk.busy_until = depart
+        latency = round(lk.rng.jittered(cfg.latency_ns + extra_ns, cfg.jitter))
+        self._deliver(dst, msg, (depart - now) + latency)
+        if cfg.dup_p > 0.0 and lk.rng.chance(cfg.dup_p):
+            # The duplicate draws its own latency: it can arrive before or
+            # after the original (reordering).
+            dup_latency = round(lk.rng.jittered(cfg.latency_ns + extra_ns, cfg.jitter))
+            self.stats.inc("net.duplicated")
+            self._deliver(dst, msg, (depart - now) + dup_latency)
+
+    def _deliver(self, dst: int, msg: Any, delay: int) -> None:
+        ev = self.engine.timeout(max(0, delay))
+
+        def _arrive(_ev: Event, dst: int = dst, msg: Any = msg) -> None:
+            if self.down[dst]:
+                self.stats.inc("net.dropped_down")
+                return
+            self.stats.inc("net.delivered")
+            self.inboxes[dst].put(msg)
+
+        ev.callbacks.append(_arrive)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _record(self, line: str) -> None:
+        self.log.append(f"t={self.engine.now} {line}")

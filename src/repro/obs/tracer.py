@@ -277,6 +277,18 @@ class EngineTracer:
             {"attempts": attempts, "degraded_ns": degraded_ns},
         )
 
+    # -- replication lifecycle (repro.cluster) ------------------------------
+
+    def failover(self, term: int, leader_id: int) -> None:
+        """A new leader took over (term bump), including the initial one."""
+        self.instant("cluster", "failover", {"term": term, "leader": leader_id})
+
+    def replication_apply(self, node_id: int, seq: int) -> None:
+        """A follower applied a shipped WAL group ending at ``seq``."""
+        self.instant(
+            "cluster", f"apply:node{node_id}", {"node": node_id, "seq": seq}
+        )
+
 
 class NullTracer:
     """The disabled tracer: every hook is a no-op and ``bind`` returns self.
@@ -338,6 +350,12 @@ class NullTracer:
         pass
 
     def resume_success(self, attempts, degraded_ns) -> None:
+        pass
+
+    def failover(self, term, leader_id) -> None:
+        pass
+
+    def replication_apply(self, node_id, seq) -> None:
         pass
 
 

@@ -1,0 +1,131 @@
+"""Tests for the FaultSchedule JSON schema versioning (v1 list / v2 envelope)."""
+
+import json
+
+import pytest
+
+from repro.errors import FaultConfigError
+from repro.faults import (
+    CRASH,
+    HEAL,
+    NET_DELAY,
+    NET_DROP,
+    NET_KINDS,
+    PARTITION,
+    TORN_APPEND,
+    WRITE_ERROR,
+    FaultSchedule,
+    FaultSpec,
+)
+from repro.faults.schedule import SCHEMA_VERSION
+from repro.sim.rng import RandomStream
+from repro.sim.units import ms, us
+
+
+def v1_schedule():
+    return FaultSchedule(
+        [
+            FaultSpec(WRITE_ERROR, at_time=us(400), count=3),
+            FaultSpec(TORN_APPEND, path="wal/", at_op=10),
+            FaultSpec(CRASH, at_time=ms(2)),
+        ]
+    )
+
+
+def v2_schedule():
+    return FaultSchedule(
+        [
+            FaultSpec(PARTITION, at_time=ms(1), until_time=ms(2), nodes=(0, 2)),
+            FaultSpec(HEAL, at_time=ms(3)),
+            FaultSpec(NET_DELAY, at_time=ms(1), until_time=ms(4), extra_ns=us(500)),
+            FaultSpec(NET_DROP, at_time=ms(2), until_time=ms(5), drop_p=0.25),
+            FaultSpec(CRASH, at_time=ms(2), node=1),
+        ]
+    )
+
+
+class TestV1Compat:
+    def test_v1_specs_emit_bare_list(self):
+        """Schedules expressible before the net extension keep the exact
+        v1 byte form: saved schedules and DST schedule_json digests replay
+        unchanged across the version bump."""
+        data = json.loads(v1_schedule().to_json())
+        assert isinstance(data, list)
+        assert all("node" not in d and "nodes" not in d for d in data)
+
+    def test_v1_bare_list_still_parses(self):
+        text = v1_schedule().to_json()
+        loaded = FaultSchedule.from_json(text)
+        assert loaded == v1_schedule()
+        assert loaded.to_json() == text
+
+    def test_v1_envelope_also_accepted(self):
+        # A v1 list wrapped in an explicit version-1 envelope is fine too.
+        specs = json.loads(v1_schedule().to_json())
+        text = json.dumps({"version": 1, "specs": specs})
+        assert FaultSchedule.from_json(text) == v1_schedule()
+
+
+class TestV2:
+    def test_net_specs_emit_versioned_envelope(self):
+        data = json.loads(v2_schedule().to_json())
+        assert isinstance(data, dict)
+        assert data["version"] == SCHEMA_VERSION == 2
+        assert len(data["specs"]) == 5
+
+    def test_v2_round_trip_preserves_net_fields(self):
+        original = v2_schedule()
+        loaded = FaultSchedule.from_json(original.to_json())
+        assert loaded == original
+        part, _heal, delay, drop, crash = loaded.specs
+        assert part.nodes == (0, 2)  # tuple restored, not list
+        assert delay.extra_ns == us(500)
+        assert drop.drop_p == 0.25
+        assert crash.node == 1
+
+    def test_single_v2_field_is_enough_for_envelope(self):
+        # A targeted crash is a v1 kind but needs the v2 node field.
+        schedule = FaultSchedule([FaultSpec(CRASH, at_time=ms(1), node=0)])
+        data = json.loads(schedule.to_json())
+        assert isinstance(data, dict) and data["version"] == 2
+
+
+class TestRejection:
+    def test_future_version_rejected(self):
+        text = json.dumps({"version": SCHEMA_VERSION + 1, "specs": []})
+        with pytest.raises(FaultConfigError, match="unsupported"):
+            FaultSchedule.from_json(text)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            '{"specs": []}',  # missing version
+            '{"version": 2}',  # missing specs
+            '{"version": "2", "specs": []}',  # non-int version
+            '"just a string"',
+            "not json at all",
+        ],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(FaultConfigError):
+            FaultSchedule.from_json(text)
+
+
+class TestRandomCluster:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_draws_valid_v2_schedules(self, seed):
+        rng = RandomStream(seed, "sched")
+        schedule = FaultSchedule.random_cluster(rng, ms(50), n_nodes=3)
+        assert 1 <= len(schedule) <= 10
+        assert any(s.kind in NET_KINDS for s in schedule)
+        # Every draw round-trips through the versioned serializer.
+        assert FaultSchedule.from_json(schedule.to_json()) == schedule
+        for spec in schedule:
+            if spec.kind == PARTITION:
+                assert 1 <= len(spec.nodes) <= 1  # minority of 3 is 1 node
+            if spec.kind == CRASH:
+                assert 0 <= spec.node < 3
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(FaultConfigError):
+            FaultSchedule.random_cluster(RandomStream(1), ms(10), n_nodes=1)
