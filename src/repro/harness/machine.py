@@ -72,8 +72,18 @@ class Machine:
         options: Options,
         wal_on_nvm: bool = False,
         controller: Optional[WriteController] = None,
+        block_cache=None,
+        write_buffer_manager=None,
+        cache_namespace: int = 0,
+        name: str = "db",
     ) -> DB:
-        """Open a DB on this machine (optionally logging to NVM)."""
+        """Open a DB on this machine (optionally logging to NVM).
+
+        ``block_cache`` / ``write_buffer_manager`` / ``cache_namespace``
+        let several DBs on one machine (serving shards, column families)
+        share one cache and one memtable byte budget; ``name`` keys the
+        DB's RNG substream so shards draw independently.
+        """
         wal_fs = self.nvm_fs if wal_on_nvm else None
         if wal_on_nvm and wal_fs is None:
             raise ValueError("machine was created without NVM (with_nvm=True)")
@@ -83,6 +93,9 @@ class Machine:
             options,
             costs=self.costs,
             wal_fs=wal_fs,
-            rng=self.rng.fork("db"),
+            rng=self.rng.fork(name),
             controller=controller,
+            block_cache=block_cache,
+            write_buffer_manager=write_buffer_manager,
+            cache_namespace=cache_namespace,
         )

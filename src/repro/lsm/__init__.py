@@ -27,6 +27,7 @@ from repro.lsm.value import Value, ValueRef, materialize, value_size
 from repro.lsm.version import FileMetadata, Version, VersionEdit, VersionSet
 from repro.lsm.wal import WalManager
 from repro.lsm.write_batch import WriteBatch
+from repro.lsm.write_buffer_manager import WriteBufferManager
 from repro.lsm.write_controller import (
     DELAYED,
     NORMAL,
@@ -67,6 +68,7 @@ __all__ = [
     "WAL_SYNC",
     "WalManager",
     "WriteBatch",
+    "WriteBufferManager",
     "WriteController",
     "WriteQueue",
     "Writer",

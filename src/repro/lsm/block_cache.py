@@ -14,11 +14,17 @@ from typing import Tuple
 from repro.errors import DBError
 from repro.sim.stats import StatsSet
 
-BlockKey = Tuple[int, int]  # (sst number, block index)
+BlockKey = Tuple[int, ...]  # (sst number, block index) or (ns, sst, block)
 
 
 class BlockCache:
-    """Byte-budgeted LRU over (sst, block) keys."""
+    """Byte-budgeted LRU over (sst, block) keys.
+
+    A cache can be shared by several DB instances (shards / column
+    families): each sharer prefixes its keys with a distinct integer
+    namespace — ``(namespace, sst, block)`` — so per-DB SST numbering
+    never collides while all sharers draw on one joint byte budget.
+    """
 
     def __init__(self, capacity_bytes: int) -> None:
         if capacity_bytes < 0:
@@ -53,6 +59,10 @@ class BlockCache:
             self._used -= old
         if charge > self.capacity_bytes:
             self.stats.inc("rejected")
+            if old is not None:
+                # The refresh dropped a previously cached block: account for
+                # it instead of letting the entry vanish silently.
+                self.stats.inc("refresh_drops")
             return
         self._entries[key] = charge
         self._used += charge
@@ -61,9 +71,20 @@ class BlockCache:
             self._used -= old_charge
             self.stats.inc("evictions")
 
-    def erase_file(self, sst_number: int) -> None:
-        """Drop all blocks of a deleted SST."""
-        stale = [k for k in self._entries if k[0] == sst_number]
+    def erase_file(self, sst_number: int, namespace: int | None = None) -> None:
+        """Drop all blocks of a deleted SST.
+
+        With ``namespace`` set, only that sharer's ``(namespace, sst, block)``
+        keys are matched; without it, legacy ``(sst, block)`` keys.
+        """
+        if namespace is None:
+            stale = [k for k in self._entries if k[0] == sst_number]
+        else:
+            stale = [
+                k
+                for k in self._entries
+                if k[0] == namespace and k[1] == sst_number
+            ]
         for k in stale:
             self._used -= self._entries.pop(k)
         if stale:

@@ -87,6 +87,9 @@ class DB:
         wal_fs: Optional[SimFileSystem] = None,
         rng: Optional[RandomStream] = None,
         controller: Optional[WriteController] = None,
+        block_cache: Optional[BlockCache] = None,
+        write_buffer_manager=None,
+        cache_namespace: int = 0,
     ) -> None:
         self.engine = engine
         self.fs = fs
@@ -106,7 +109,19 @@ class DB:
         # between serial and parallel (--jobs) sweeps.
         self._memtable_seq = 0
 
-        self.block_cache = BlockCache(self.options.block_cache_bytes)
+        # A cache may be shared across shards / column families: sharers
+        # pass one BlockCache plus a distinct integer namespace so their
+        # per-DB SST numbering cannot collide in the joint key space.
+        self._cache_ns = cache_namespace
+        self.block_cache = (
+            block_cache
+            if block_cache is not None
+            else BlockCache(self.options.block_cache_bytes)
+        )
+        # Optional joint memtable budget (repro.lsm.write_buffer_manager).
+        self.write_buffer_manager = write_buffer_manager
+        if write_buffer_manager is not None:
+            write_buffer_manager.register(self)
         recovering = fs.exists("MANIFEST")
         if recovering:
             self.versions = VersionSet.recover(
@@ -190,7 +205,7 @@ class DB:
         return mt
 
     def _on_file_dead(self, meta: FileMetadata) -> None:
-        self.block_cache.erase_file(meta.number)
+        self.block_cache.erase_file(meta.number, namespace=self._cache_ns)
 
     def _replay_wal(self, pre_crash_logs: List[str]) -> None:
         """Re-insert durable, checksum-valid records of pre-crash logs.
@@ -349,10 +364,7 @@ class DB:
 
             # Switch the memtable between groups, never inside one (keeps
             # the WAL/memtable correspondence crash-safe).
-            if (
-                self.memtables.mutable.charged_bytes
-                >= self.options.write_buffer_size
-            ):
+            if self._memtable_should_switch():
                 yield from self._switch_memtable()
 
             # Assign sequence numbers in queue order.
@@ -411,6 +423,18 @@ class DB:
             yield cpu
         writer.queue.member_done(writer.group)
 
+    def _memtable_should_switch(self) -> bool:
+        """Mutable memtable full, or the shared write-buffer budget says so."""
+        if self.memtables.mutable.charged_bytes >= self.options.write_buffer_size:
+            return True
+        if (
+            self.write_buffer_manager is not None
+            and self.write_buffer_manager.should_flush(self)
+        ):
+            self.stats.inc("memtable.wbm_switches")
+            return True
+        return False
+
     def _switch_memtable(self):
         """Seal the mutable memtable; stall if too many immutables pend."""
         limit = max(1, self.options.max_write_buffer_number - 1)
@@ -451,7 +475,7 @@ class DB:
             return
         if self.error_handler.severity:
             self.error_handler.check_writable()
-        if self.memtables.mutable.charged_bytes >= self.options.write_buffer_size:
+        if self._memtable_should_switch():
             yield from self._switch_memtable()
         wal_number = self.wal.current_number
         try:
@@ -567,7 +591,7 @@ class DB:
             cpu += costs.sst_index_search(sst.entry_count)
         block_idx = sst.block_for_key(key)
         cpu += costs.block_cache_lookup_ns
-        cache_key = (sst.number, block_idx)
+        cache_key = (self._cache_ns, sst.number, block_idx)
         if not self.block_cache.lookup(cache_key):
             if cpu:
                 yield cpu

@@ -24,7 +24,12 @@ When no tracer is active every instrumentation hook resolves to the shared
 no conditionals and no measurable cost.
 """
 
-from repro.obs.summary import busiest_device_windows, stall_episodes, summarize
+from repro.obs.summary import (
+    busiest_device_windows,
+    stall_episodes,
+    summarize,
+    tenant_slo_digest,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     EngineTracer,
@@ -44,4 +49,5 @@ __all__ = [
     "set_active_tracer",
     "stall_episodes",
     "summarize",
+    "tenant_slo_digest",
 ]

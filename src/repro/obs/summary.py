@@ -103,6 +103,41 @@ def busiest_device_windows(
     return out
 
 
+def tenant_slo_digest(rows, top_n: Optional[int] = None) -> str:
+    """Per-tenant SLO digest for multi-tenant serving runs.
+
+    ``rows`` are plain dicts (one per tenant, the shape produced by
+    ``repro.serving``'s ``TenantStats.row()``): tenant, users, ops, kops,
+    p50_us, p99_us, slo_p99_us, slo_violation_frac, throttled_frac.  Rows
+    are ranked worst-first by SLO violation fraction so the digest leads
+    with the tenants in trouble — the serving twin of
+    :func:`stall_episodes`' "longest stalls first" ordering.
+    """
+    if not rows:
+        return "tenant-slo digest: no tenants recorded"
+    ranked = sorted(
+        rows,
+        key=lambda r: (-float(r["slo_violation_frac"]), str(r["tenant"])),
+    )
+    if top_n is not None:
+        ranked = ranked[:top_n]
+    met = sum(
+        1 for r in rows if float(r["p99_us"]) <= float(r["slo_p99_us"])
+    )
+    lines = [
+        f"tenant-slo digest: {met}/{len(rows)} tenants meeting p99 SLO"
+    ]
+    for r in ranked:
+        verdict = "ok" if float(r["p99_us"]) <= float(r["slo_p99_us"]) else "MISS"
+        lines.append(
+            f"  {r['tenant']}: p99 {r['p99_us']}us vs SLO {r['slo_p99_us']}us "
+            f"[{verdict}] | {r['ops']} ops ({r['kops']} kops) | "
+            f"{float(r['slo_violation_frac']):.2%} over-SLO | "
+            f"{float(r['throttled_frac']):.2%} throttled"
+        )
+    return "\n".join(lines)
+
+
 def summarize(tracer, top_n: int = 5) -> str:
     """Multi-line digest of a trace: stall and device-busyness highlights."""
     lines = [f"trace summary: {tracer.num_events} events"]

@@ -1,0 +1,57 @@
+"""Multi-tenant serving layer: sharded DBs, shared budgets, a client fleet.
+
+The paper measures one RocksDB instance; production RocksDB serves many
+tenants over many shards on the same device.  This package promotes the
+``ablation-wq`` finding (sharded write queues relieve the Fig. 15/16
+contention) into an architecture:
+
+* :class:`~repro.serving.stack.ServingStack` — N shard DBs behind
+  consistent-hash routing (:class:`~repro.serving.router.HashRing`), all
+  sharing one device, one :class:`~repro.lsm.block_cache.BlockCache` and
+  one :class:`~repro.lsm.write_buffer_manager.WriteBufferManager` budget;
+* :class:`~repro.serving.admission.AdmissionController` — per-tenant token
+  buckets scaled by the shards' Algorithm-1 stall states;
+* :mod:`~repro.serving.fleet` — the tenant fleet generator (Zipfian hot
+  keys with migration, diurnal curves, per-tenant SLO accounting);
+* :mod:`~repro.serving.sweep` — ``--jobs``-parallel tenant-scale sweeps,
+  bit-identical across job counts;
+* ``python -m repro.serving`` — the CLI entry point.
+"""
+
+from repro.serving.admission import AdmissionController, TenantBudget, TokenBucket
+from repro.serving.fleet import (
+    TenantSpec,
+    TenantStats,
+    TenantWorkload,
+    default_tenants,
+    tenant_key,
+)
+from repro.serving.router import HashRing
+from repro.serving.shardfs import ShardFsView
+from repro.serving.stack import ServingConfig, ServingResult, ServingStack
+from repro.serving.sweep import (
+    ServingPoint,
+    SweepReport,
+    run_serving_point,
+    run_sweep,
+)
+
+__all__ = [
+    "AdmissionController",
+    "HashRing",
+    "ServingConfig",
+    "ServingPoint",
+    "ServingResult",
+    "ServingStack",
+    "ShardFsView",
+    "SweepReport",
+    "TenantBudget",
+    "TenantSpec",
+    "TenantStats",
+    "TenantWorkload",
+    "TokenBucket",
+    "default_tenants",
+    "run_serving_point",
+    "run_sweep",
+    "tenant_key",
+]

@@ -1,0 +1,128 @@
+"""Admission control: per-tenant token buckets in front of the shards.
+
+The paper's Section VI bottleneck story is about what happens *behind* the
+write queue; a production serving tier additionally needs a front door that
+(a) enforces each tenant's provisioned rate so one tenant's burst cannot
+starve the rest, and (b) backs off globally when the storage engine itself
+is throttling — otherwise admitted requests just pile up in the write queue
+the paper showed to be the contention point.
+
+Each tenant gets a :class:`TokenBucket` over virtual time (the same
+virtual-refill-clock construction as
+:class:`~repro.lsm.write_controller.WriteController.get_delay`, so
+aggregate admitted rate equals the configured rate).  The bucket's
+*effective* rate is scaled by the worst stall state across the shard
+write controllers — the existing Algorithm-1 signals feed straight into
+admission:
+
+* every shard ``NORMAL`` → full provisioned rate;
+* any shard ``DELAYED``  → rate scaled by that shard's current
+  ``delayed_write_rate`` relative to its configured rate (as compaction
+  falls further behind, admission tightens with it);
+* any shard ``STOPPED``  → rate floored at :data:`STOP_FACTOR` of
+  provisioned (a trickle, so clients keep probing and unblock promptly
+  when the stall clears instead of thundering in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import WorkloadError
+from repro.lsm.write_controller import DELAYED, STOPPED, WriteController
+from repro.sim.stats import StatsSet
+from repro.sim.units import SEC
+
+#: Fraction of the provisioned rate still admitted while a shard is STOPPED.
+STOP_FACTOR = 0.05
+#: Lower bound on the DELAYED scale so admission never rounds to zero.
+MIN_PRESSURE = 0.01
+
+
+class TokenBucket:
+    """Deterministic ops/second token bucket over virtual time."""
+
+    def __init__(self, rate_per_sec: float, burst: int = 1) -> None:
+        if rate_per_sec <= 0:
+            raise WorkloadError(f"bucket rate must be positive: {rate_per_sec}")
+        if burst < 1:
+            raise WorkloadError(f"burst must be >= 1: {burst}")
+        self.rate_per_sec = rate_per_sec
+        self.burst = burst
+        # Timestamp up to which admitted tokens are already spoken for.
+        # None = never reserved (a full bucket: the first ``burst`` ops
+        # admit free whenever they arrive).
+        self._next_free: Optional[int] = None
+
+    def reserve(self, now: int, n: int = 1, scale: float = 1.0) -> int:
+        """Reserve ``n`` tokens at ``now``; returns the delay in ns.
+
+        ``scale`` < 1 tightens the effective rate for this reservation
+        (stall pressure).  Idle time banks credit — capped at ``burst``
+        tokens — so a quiet tenant can burst briefly before pacing to the
+        provisioned rate.
+        """
+        rate = self.rate_per_sec * max(MIN_PRESSURE, scale)
+        token_ns = SEC / rate
+        # A full bucket's clock trails ``now`` by burst-1 token intervals:
+        # exactly ``burst`` back-to-back ops then admit with zero delay.
+        credit_cap = round((self.burst - 1) * token_ns)
+        nf = self._next_free
+        if nf is None or nf < now - credit_cap:
+            nf = now - credit_cap
+        delay = nf - now if nf > now else 0
+        self._next_free = nf + round(n * token_ns)
+        return delay
+
+
+@dataclass
+class TenantBudget:
+    """Provisioned admission budget of one tenant."""
+
+    ops_per_sec: float
+    burst: int = 16
+
+
+class AdmissionController:
+    """The serving front door: per-tenant buckets + engine backpressure."""
+
+    def __init__(
+        self,
+        controllers: List[WriteController],
+        budgets: Optional[Dict[str, TenantBudget]] = None,
+    ) -> None:
+        self.controllers = list(controllers)
+        self._buckets: Dict[str, TokenBucket] = {}
+        if budgets:
+            for tenant, budget in budgets.items():
+                self.set_budget(tenant, budget)
+        self.stats = StatsSet()
+
+    def set_budget(self, tenant: str, budget: TenantBudget) -> None:
+        self._buckets[tenant] = TokenBucket(budget.ops_per_sec, budget.burst)
+
+    def pressure(self) -> float:
+        """Rate scale from the worst shard write-controller state in [0,1]."""
+        scale = 1.0
+        for controller in self.controllers:
+            if controller.state == STOPPED:
+                scale = min(scale, STOP_FACTOR)
+            elif controller.state == DELAYED:
+                configured = float(controller.options.delayed_write_rate)
+                scale = min(scale, controller.delayed_write_rate / configured)
+        return scale
+
+    def admit(self, tenant: str, now: int, n: int = 1) -> int:
+        """Admission delay (ns) for ``n`` ops of ``tenant`` arriving at
+        ``now``; 0 = admitted immediately.  Unbudgeted tenants pass free.
+        """
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            return 0
+        delay = bucket.reserve(now, n, scale=self.pressure())
+        self.stats.inc(f"admitted.{tenant}", n)
+        if delay > 0:
+            self.stats.inc(f"throttled.{tenant}", n)
+            self.stats.inc(f"throttle_ns.{tenant}", delay)
+        return delay

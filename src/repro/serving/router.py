@@ -1,0 +1,65 @@
+"""Consistent-hash key routing across DB shards.
+
+The serving layer spreads the key space over N shards with a classic
+consistent-hash ring (virtual nodes, CRC32 positions).  Two properties
+matter here:
+
+* **determinism** — CRC32 is stable across processes and Python versions,
+  so a sweep point routes identically under ``--jobs 1`` and ``--jobs N``
+  and across hosts;
+* **stability** — growing the ring from N to N+1 shards remaps roughly
+  ``1/(N+1)`` of the keys, so a scale-out experiment measures data
+  movement, not a full reshuffle (plain ``hash % N`` would remap ~all keys).
+"""
+
+from __future__ import annotations
+
+import zlib
+from bisect import bisect_right
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import WorkloadError
+
+
+def _hash(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+class HashRing:
+    """Consistent-hash ring mapping keys to shard indices [0, shards)."""
+
+    def __init__(self, shards: int, vnodes: int = 64) -> None:
+        if shards < 1:
+            raise WorkloadError(f"need at least one shard: {shards}")
+        if vnodes < 1:
+            raise WorkloadError(f"need at least one vnode per shard: {vnodes}")
+        self.shards = shards
+        self.vnodes = vnodes
+        points: List[Tuple[int, int]] = []
+        for shard in range(shards):
+            for v in range(vnodes):
+                points.append((_hash(b"shard-%d#%d" % (shard, v)), shard))
+        points.sort()
+        self._points = points
+        self._hashes = [h for h, _ in points]
+
+    def shard_for(self, key: bytes) -> int:
+        """The shard owning ``key`` (first ring point at/after its hash)."""
+        idx = bisect_right(self._hashes, _hash(key))
+        if idx == len(self._points):
+            idx = 0
+        return self._points[idx][1]
+
+    def partition(self, keys: Sequence[bytes]) -> List[List[bytes]]:
+        """Split ``keys`` into per-shard lists (order preserved)."""
+        out: List[List[bytes]] = [[] for _ in range(self.shards)]
+        for key in keys:
+            out[self.shard_for(key)].append(key)
+        return out
+
+    def distribution(self, keys: Sequence[bytes]) -> Dict[int, int]:
+        """Keys-per-shard histogram (diagnostics and balance tests)."""
+        counts: Dict[int, int] = {s: 0 for s in range(self.shards)}
+        for key in keys:
+            counts[self.shard_for(key)] += 1
+        return counts

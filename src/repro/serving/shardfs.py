@@ -1,0 +1,59 @@
+"""Per-shard path namespaces over one shared filesystem.
+
+Serving shards co-locate on a single device and a single mounted
+filesystem — that is the whole point of the multi-tenant experiment: many
+LSM instances contending on one device and one space budget.  Each shard's
+``DB`` however assumes it owns its path namespace ("MANIFEST", "wal/...",
+"sst/...").  :class:`ShardFsView` gives every shard a private ``shard-N/``
+prefix over the shared :class:`~repro.fs.filesystem.SimFileSystem`: path
+arguments are translated on the way in, listings are stripped on the way
+out, and everything else (allocation, quotas, page cache, the device) is
+the shared instance's — so shards compete for space and I/O exactly as
+column families in one RocksDB process do.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+
+class ShardFsView:
+    """A path-prefixing view over a shared :class:`SimFileSystem`."""
+
+    def __init__(self, fs: Any, prefix: str) -> None:
+        if not prefix or "/" in prefix.rstrip("/"):
+            raise ValueError(f"shard prefix must be a single directory: {prefix!r}")
+        self._fs = fs
+        self.prefix = prefix.rstrip("/") + "/"
+
+    # -- path-translating entry points --------------------------------------
+
+    def create(self, path: str, **kwargs):
+        return self._fs.create(self.prefix + path, **kwargs)
+
+    def open(self, path: str):
+        return self._fs.open(self.prefix + path)
+
+    def delete(self, path: str) -> None:
+        self._fs.delete(self.prefix + path)
+
+    def exists(self, path: str) -> bool:
+        return self._fs.exists(self.prefix + path)
+
+    def install_synced(self, path: str, nbytes: int):
+        return self._fs.install_synced(self.prefix + path, nbytes)
+
+    def list(self, prefix: str = "") -> List[str]:
+        full = self.prefix + prefix
+        n = len(self.prefix)
+        return [p[n:] for p in self._fs.list(prefix=full)]
+
+    # -- shared-state delegation ---------------------------------------------
+
+    def __getattr__(self, name: str) -> Any:
+        # free_bytes/quota_bytes/device/page_cache/stats/... are the shared
+        # filesystem's: shards see one joint space and I/O budget.
+        return getattr(self._fs, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ShardFsView {self.prefix!r} over {self._fs!r}>"

@@ -12,7 +12,7 @@ after a reboot.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import WorkloadError
 from repro.lsm.db import DB
@@ -147,4 +147,97 @@ def prefill(db: DB, spec: PrefillSpec) -> Dict[int, int]:
     db.versions.apply(edit)
     db.versions.current.check_invariants()
     db.stats.inc("prefill.keys", spec.key_count)
+    return files_per_level
+
+
+def prefill_keys(
+    db: DB,
+    keys: Sequence[bytes],
+    value_size: int = 1024,
+    value_sizes: Optional[Sequence[int]] = None,
+) -> Dict[int, int]:
+    """Like :func:`prefill` but over an explicit sorted key list.
+
+    Serving shards need this: consistent-hash routing hands each shard a
+    scattered (non-contiguous) subset of the tenants' prefixed key spaces,
+    so the shard's pre-existing LSM shape must be built from those exact
+    keys.  Level assignment hashes the key's *position* — same scheme as
+    :func:`prefill`, so every level spans the shard's whole key range.
+    ``value_sizes`` optionally gives a per-key value size (tenants with
+    different value specs sharing one shard).
+    """
+    if not keys:
+        return {}
+    if db.versions.current.num_files() != 0:
+        raise WorkloadError("prefill requires an empty database")
+    if value_sizes is not None and len(value_sizes) != len(keys):
+        raise WorkloadError("value_sizes must align with keys")
+    if any(keys[i] >= keys[i + 1] for i in range(len(keys) - 1)):
+        raise WorkloadError("prefill_keys requires strictly ascending keys")
+
+    def size_of(i: int) -> int:
+        return value_sizes[i] if value_sizes is not None else value_size
+
+    total_bytes = sum(len(k) + size_of(i) + 8 for i, k in enumerate(keys))
+    budgets = _level_budgets(db, total_bytes)
+    if not budgets:
+        raise WorkloadError("no level budget computed")
+    levels = sorted(budgets)
+    total = sum(budgets.values())
+    thresholds: List[int] = []
+    acc = 0
+    for level in levels:
+        acc += budgets[level]
+        thresholds.append(int(acc / total * (1 << 32)))
+
+    per_level: Dict[int, List[int]] = {level: [] for level in levels}
+    for i in range(len(keys)):
+        h = (i * _HASH) & 0xFFFFFFFF
+        for level, bound in zip(levels, thresholds):
+            if h < bound:
+                per_level[level].append(i)
+                break
+        else:
+            per_level[levels[-1]].append(i)
+
+    edit = VersionEdit()
+    files_per_level: Dict[int, int] = {}
+    seq = db.versions.last_sequence
+    for level in levels:
+        indices = per_level[level]
+        if not indices:
+            continue
+        target = db.options.target_file_size(level)
+        builder: SSTBuilder | None = None
+        count = 0
+
+        def finish(builder: SSTBuilder) -> None:
+            sst = builder.finish()
+            f = db.fs.install_synced(f"sst/{sst.number:06d}.sst", sst.file_bytes)
+            f.payload = sst
+            edit.add_file(level, FileMetadata(sst.number, sst, f, level))
+
+        for i in indices:
+            if builder is None:
+                builder = SSTBuilder(
+                    db.versions.new_file_number(),
+                    db.options.block_size,
+                    db.options.bloom_bits_per_key,
+                )
+            seq += 1
+            value = ValueSpec(size_of(i)).value_for(i)
+            builder.add(keys[i], (seq, 1, value))
+            if builder.estimated_bytes >= target:
+                finish(builder)
+                builder = None
+                count += 1
+        if builder is not None and not builder.empty():
+            finish(builder)
+            count += 1
+        files_per_level[level] = count
+
+    db.versions.last_sequence = seq
+    db.versions.apply(edit)
+    db.versions.current.check_invariants()
+    db.stats.inc("prefill.keys", len(keys))
     return files_per_level

@@ -74,7 +74,11 @@ class ZipfianGenerator:
             return 0
         if uz < 1.0 + 0.5 ** self.theta:
             return 1
-        return int(self.n * (self._eta * u - self._eta + 1) ** self._alpha)
+        # As u -> 1 the tail formula's float rounding can land exactly on n;
+        # clamp to the documented [0, n) range.
+        return min(
+            self.n - 1, int(self.n * (self._eta * u - self._eta + 1) ** self._alpha)
+        )
 
 
 class LatestGenerator:
@@ -194,6 +198,10 @@ class YcsbRunner:
         self._next_insert = key_count
 
     def run(self, db: DB) -> YcsbResult:
+        # Per-run state: a previous run()'s inserts must not shift this
+        # run's key space (the chooser is rebuilt per run; the insert
+        # counter has to match it).
+        self._next_insert = self.key_count
         engine: Engine = db.engine
         result = YcsbResult(workload=self.spec.name)
         end = engine.now + self.duration_ns

@@ -1,0 +1,65 @@
+"""Tests for ``python -m repro.serving`` and the sweep runner."""
+
+import pytest
+
+from repro.serving.__main__ import main
+from repro.serving.sweep import ServingPoint, run_serving_point, run_sweep
+
+TINY = [
+    "--keys", "200",
+    "--users", "20000",
+    "--duration", "0.05",
+]
+
+
+def run_cli(capsys, *extra):
+    assert main([*TINY, *extra]) == 0
+    return capsys.readouterr().out
+
+
+def test_cli_prints_slo_digest(capsys):
+    out = run_cli(capsys)
+    assert "tenant-slo digest:" in out
+    assert "shared block cache:" in out
+    assert "write-buffer budget:" in out
+
+
+def test_cli_shard_sweep_prints_scaling_table(capsys):
+    out = run_cli(capsys, "--shard-sweep", "1,2", "--jobs", "1")
+    assert "shard scaling" in out
+    assert "x1 shard(s):" in out
+    assert "x2 shard(s):" in out
+
+
+def test_cli_jobs_output_identical(capsys):
+    """The hard sweep contract: --jobs N output is byte-identical to serial."""
+    serial = run_cli(capsys, "--shard-sweep", "1,2", "--jobs", "1")
+    parallel = run_cli(capsys, "--shard-sweep", "1,2", "--jobs", "2")
+    assert serial == parallel
+
+
+def test_cli_rejects_bad_args(capsys):
+    with pytest.raises(SystemExit):
+        main(["--shards", "0"])
+    with pytest.raises(SystemExit):
+        main(["--shard-sweep", "1,zero"])
+
+
+def test_sweep_points_are_picklable_and_ordered():
+    import pickle
+
+    points = [ServingPoint(shards=s, duration_s=0.02, key_count=100,
+                           users_per_tenant=10_000) for s in (1, 2)]
+    assert pickle.loads(pickle.dumps(points)) == points
+    report = run_sweep(points, jobs=2)
+    assert [r.shards for r in report.results] == [1, 2]
+    assert "shard scaling" in report.scaling_table()
+
+
+def test_run_serving_point_matches_direct_run():
+    point = ServingPoint(shards=2, duration_s=0.05, key_count=150,
+                         users_per_tenant=15_000)
+    a = run_serving_point(point)
+    b = run_serving_point(point)
+    assert a.tenant_rows == b.tenant_rows
+    assert a.shard_rows == b.shard_rows

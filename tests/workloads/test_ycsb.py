@@ -63,6 +63,34 @@ class TestZipfian:
             assert 0 <= gen.next(rng) < n
 
 
+class _FixedU:
+    """Stub rng whose uniform draw is pinned (boundary regression probe)."""
+
+    def __init__(self, u: float) -> None:
+        self._u = u
+
+    def random(self) -> float:
+        return self._u
+
+
+class TestZipfianBoundary:
+    @pytest.mark.parametrize("n", [3, 10, 1000])
+    def test_draw_at_top_of_unit_interval_stays_below_n(self, n):
+        """Regression: as u -> 1 the tail formula's float rounding landed on
+        exactly ``n`` — one past the documented [0, n) range — sending reads
+        to a key that does not exist and inserts to a colliding index."""
+        gen = ZipfianGenerator(n)
+        assert gen.next(_FixedU(1.0 - 2**-53)) <= n - 1
+        # random.random() never returns 1.0, but the clamp must hold anyway.
+        assert gen.next(_FixedU(1.0)) == n - 1
+
+    @pytest.mark.parametrize("theta", [0.3, 0.5, 0.99])
+    def test_clamp_holds_for_any_theta(self, theta):
+        gen = ZipfianGenerator(100, theta)
+        for u in (0.999999, 1.0 - 2**-53, 1.0):
+            assert 0 <= gen.next(_FixedU(u)) < 100
+
+
 class TestLatest:
     def test_prefers_recent(self):
         gen = LatestGenerator(10_000)
@@ -154,3 +182,64 @@ class TestRunner:
         a, b = run(), run()
         assert a.ops == b.ops
         assert a.latency.total == b.latency.total
+
+    def test_runner_is_reentrant(self):
+        """Regression: ``_next_insert`` leaked across ``run()`` calls, so a
+        reused runner's second run keyed inserts past the first run's end
+        and clamped lookups against a stale key-space bound."""
+        from repro.sim.engine import Engine
+
+        runner = YcsbRunner(
+            CORE_WORKLOADS["D"],
+            key_count=3000,
+            value_size=64,
+            clients=2,
+            duration_ns=seconds(0.1),
+            seed=13,
+        )
+
+        def run_once():
+            engine = Engine()
+            db = make_db(engine, profile=xpoint_ssd(), options=tiny_options())
+            prefill(db, PrefillSpec(key_count=3000, value_size=64))
+            return runner.run(db)
+
+        first = run_once()
+        inserted = runner._next_insert - runner.key_count
+        assert inserted == first.op_counts.get(OP_INSERT, 0)
+        second = run_once()
+        # Fresh run, fresh key space: the counter restarts at key_count
+        # instead of continuing where the first run stopped.
+        assert runner._next_insert - runner.key_count == second.op_counts.get(
+            OP_INSERT, 0
+        )
+        assert first.ops == second.ops
+        assert first.op_counts == second.op_counts
+
+
+class TestChooserRanges:
+    """Seed-swept property: every distribution stays inside the key space."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        n=st.integers(min_value=1, max_value=5000),
+        dist=st.sampled_from(["zipfian", "latest", "uniform"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pick_key_in_range_for_all_ops(self, seed, n, dist):
+        runner = YcsbRunner(
+            YcsbSpec("probe", read=1.0, distribution=dist), key_count=n
+        )
+        if dist == "latest":
+            chooser = LatestGenerator(n)
+        elif dist == "zipfian":
+            chooser = ZipfianGenerator(n)
+        else:
+            chooser = None
+        rng = RandomStream(seed, "chooser-range")
+        for step in range(120):
+            assert 0 <= runner._pick_key(rng, chooser) < runner._next_insert
+            if step % 10 == 9:  # interleave inserts: the bound must track
+                runner._next_insert += 1
+                if isinstance(chooser, LatestGenerator):
+                    chooser.grow()
