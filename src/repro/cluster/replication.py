@@ -19,12 +19,21 @@ Control plane
     intersects it, the winner always holds every acked write.
 
 Log identity
-    A group's identity is its ``tag`` — ``(last_seq, crc)`` where the crc
-    is the same checksum the WAL record carries on disk.  Tags let rejoin
-    compare a node's *durable* WAL records against the current leader's log
-    and physically truncate a divergent unacked tail with the existing
-    ``scan_log``/``truncate_log`` machinery; truncated tags are remembered
-    and must never reappear in any log (checked as an invariant).
+    A group's ``tag`` is ``(last_seq, crc)`` where the crc is the same
+    checksum the WAL record carries on disk.  Tags let rejoin compare a
+    node's *durable* WAL records against the current leader's log and
+    physically truncate a divergent unacked tail with the existing
+    ``scan_log``/``truncate_log`` machinery.  For the no-resurrection
+    invariant a tag alone is ambiguous: a client that retries an unacked
+    DELETE after a failover legitimately produces byte-identical WAL
+    bytes at the same sequence number as the truncated group (a PUT
+    retry embeds its fresh write index, a DELETE has no payload), so the
+    new leader's group collides with the truncated one on ``(seq, crc)``
+    while being a different proposal.  The invariant therefore tracks
+    the term-qualified ``identity`` — ``(term, last_seq, crc)`` — which
+    a re-proposal under the new leader's (strictly newer) term never
+    matches, while a genuinely resurrected group keeps its original term
+    and still trips the check.
 """
 
 from __future__ import annotations
@@ -40,7 +49,8 @@ from repro.sim.engine import Engine, Event
 from repro.sim.rng import RandomStream
 from repro.sim.units import ms, us
 
-Tag = Tuple[int, int]  # (last_seq, crc)
+Tag = Tuple[int, int]  # (last_seq, crc) — the disk-matching key
+Identity = Tuple[int, int, int]  # (term, last_seq, crc) — resurrection identity
 
 #: Node lifecycle states.
 CRASHED = "crashed"  # powered off
@@ -99,6 +109,10 @@ class Group:
     @property
     def tag(self) -> Tag:
         return (self.last_seq, self.crc)
+
+    @property
+    def identity(self) -> Identity:
+        return (self.term, self.last_seq, self.crc)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Group t{self.term} [{self.start_seq}..{self.last_seq}]>"
@@ -211,7 +225,7 @@ class Cluster:
         self.violations: List[str] = []
         #: Tags of physically truncated (divergent, unacked) groups: they
         #: must never reappear in any log (the no-resurrection invariant).
-        self.truncated_tags: Set[Tag] = set()
+        self.truncated_identities: Set[Identity] = set()
         #: (term, leader_id) history — checked for one leader per term.
         self.term_history: List[Tuple[int, int]] = []
         self._match_len: Dict[int, int] = {}
@@ -307,7 +321,7 @@ class Cluster:
         def on_group(records, nbytes, node=node, term=term):
             crc = node.db.wal.current.records[-1][1].crc
             group = Group(term, records, nbytes, crc)
-            if group.tag in self.truncated_tags:
+            if group.identity in self.truncated_identities:
                 self._violate(f"truncated group {group!r} resurrected on leader")
             node.log.append(group)
             node.fire_log_grew()
@@ -441,7 +455,7 @@ class Cluster:
         leader_tags = {x.tag for x in llog}
         for g in divergent:
             if g.tag not in leader_tags:
-                self.truncated_tags.add(g.tag)
+                self.truncated_identities.add(g.identity)
         files = self._wal_files(node)  # already recovered by _salvage
         flat = [rec for _f, frs in files for _nb, rec in frs]
         base = None
@@ -588,7 +602,7 @@ class Cluster:
         elif index and (not log or log[-1].tag != prev_tag):
             ok, match = False, max(0, len(log) - 1)  # chain break
         else:
-            if group.tag in self.truncated_tags:
+            if group.identity in self.truncated_identities:
                 self._violate(
                     f"truncated group {group!r} resurrected on node {node.node_id}"
                 )

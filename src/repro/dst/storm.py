@@ -96,6 +96,9 @@ class StormConfig:
     # many extents the window's workload happens to allocate.
     squeeze_slack_bytes: int = 0
     drain_ns: int = ms(120)  # quiesce budget after the window closes
+    # Explicit fault schedule (e.g. a fuzzer genome or a replayed corpus
+    # entry).  None keeps the seed-derived storm schedule.
+    schedule: Optional[FaultSchedule] = None
 
     @property
     def horizon_ns(self) -> int:
@@ -170,7 +173,10 @@ class StormRun:
 
         w0, w1 = self.config.window_ns
         self.window = (w0, w1)
-        self.schedule = self._build_schedule(w0, w1)
+        if self.config.schedule is not None:
+            self.schedule = self.config.schedule
+        else:
+            self.schedule = self._build_schedule(w0, w1)
         self.injector = FaultInjector(self.engine, self.schedule)
         self.device = FaultyDevice(
             self.engine, xpoint_ssd(), self.injector, self.rng.fork("device")

@@ -27,11 +27,23 @@ unwrapped stack.
 from repro.faults.device import FaultyDevice
 from repro.faults.filesystem import FaultyFile, FaultyFileSystem
 from repro.faults.injector import FaultInjector
+from repro.faults.mutate import (
+    CLUSTER_MUTATION_KINDS,
+    DST_MUTATION_KINDS,
+    STORM_MUTATION_KINDS,
+    MutationContext,
+    clamp_schedule,
+    clamp_spec,
+    draw_spec,
+    mutate_schedule,
+)
 from repro.faults.schedule import (
     CORRUPT_APPEND,
     CORRUPT_SST_BLOCK,
     CRASH,
+    DEVICE_KINDS,
     FAULT_KINDS,
+    FS_KINDS,
     HEAL,
     LATENCY_SPIKE,
     NET_DELAY,
@@ -48,10 +60,14 @@ from repro.faults.schedule import (
 )
 
 __all__ = [
+    "CLUSTER_MUTATION_KINDS",
     "CORRUPT_APPEND",
     "CORRUPT_SST_BLOCK",
     "CRASH",
+    "DEVICE_KINDS",
+    "DST_MUTATION_KINDS",
     "FAULT_KINDS",
+    "FS_KINDS",
     "FaultInjector",
     "FaultSchedule",
     "FaultSpec",
@@ -60,6 +76,7 @@ __all__ = [
     "FaultyFileSystem",
     "HEAL",
     "LATENCY_SPIKE",
+    "MutationContext",
     "NET_DELAY",
     "NET_DROP",
     "NET_KINDS",
@@ -67,6 +84,11 @@ __all__ = [
     "READ_ERROR",
     "SCHEMA_VERSION",
     "STALL",
+    "STORM_MUTATION_KINDS",
     "TORN_APPEND",
     "WRITE_ERROR",
+    "clamp_schedule",
+    "clamp_spec",
+    "draw_spec",
+    "mutate_schedule",
 ]

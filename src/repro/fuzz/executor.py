@@ -1,0 +1,114 @@
+"""Run one genome through its harness, under a tracer, into an Outcome.
+
+The executor is the fuzzer's oracle boundary: a genome goes in, the
+matching DST harness runs it with a fresh :class:`~repro.obs.Tracer`
+bound, and what comes out is (a) the harness's own invariant verdict and
+(b) the run's coverage vocabulary (trace items + event-log shapes +
+outcome tokens).  A harness that *raises* instead of returning a verdict
+is itself a finding — the exception becomes a failing outcome rather
+than killing the fuzz loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List
+
+from repro.dst.cluster import ClusterDstConfig, ClusterDstRun
+from repro.dst.harness import DstConfig, DstRun
+from repro.dst.storm import StormConfig, StormRun
+from repro.fuzz.genome import MODE_CLUSTER, MODE_DST, MODE_STORM, Genome
+from repro.obs import Tracer, set_active_tracer
+from repro.obs.vocab import log_vocabulary, normalize_log_line, trace_vocabulary
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """What one genome execution produced."""
+
+    ok: bool
+    verdict: str  # "PASS" | "FAIL(<reason>)" | "EXCEPTION(<type: msg>)"
+    reason: str  # "" when ok
+    vocab: FrozenSet[str]
+    faults_fired: int
+    trace_events: int
+
+    @property
+    def signature(self) -> str:
+        """Normalised failure class (for crasher dedup); "" when ok."""
+        if self.ok:
+            return ""
+        return normalize_log_line(self.reason)
+
+
+def build_run(genome: Genome):
+    """Instantiate the harness run a genome describes (not yet executed)."""
+    if genome.mode == MODE_DST:
+        return DstRun(
+            genome.workload_seed,
+            DstConfig(
+                num_ops=genome.num_ops,
+                num_keys=genome.num_keys,
+                schedule=genome.schedule,
+            ),
+        )
+    if genome.mode == MODE_STORM:
+        return StormRun(
+            genome.workload_seed,
+            StormConfig(
+                kind=genome.storm_kind,
+                num_ops=genome.num_ops,
+                num_keys=genome.num_keys,
+                schedule=genome.schedule,
+            ),
+        )
+    return ClusterDstRun(
+        genome.workload_seed,
+        ClusterDstConfig(
+            num_ops=genome.num_ops,
+            num_keys=genome.num_keys,
+            n_nodes=genome.n_nodes,
+            schedule=genome.schedule,
+        ),
+    )
+
+
+def execute(genome: Genome, max_trace_events: int = 200_000) -> Outcome:
+    """Run ``genome`` deterministically; never raises for harness failures."""
+    tracer = Tracer(max_events=max_trace_events)
+    set_active_tracer(tracer)
+    events: List[str] = []
+    faults_fired = 0
+    run = None
+    try:
+        run = build_run(genome)
+        result = run.run()
+        ok = result.ok
+        reason = result.reason
+        verdict = result.verdict
+        events = result.events
+        faults_fired = getattr(result, "faults_fired", 0)
+    except Exception as exc:  # noqa: BLE001 — an escaping exception IS the finding
+        ok = False
+        reason = f"{type(exc).__name__}: {exc}"
+        verdict = f"EXCEPTION({reason})"
+        events = list(getattr(run, "events", []) or [])
+    finally:
+        set_active_tracer(None)
+
+    vocab = set(trace_vocabulary(tracer))
+    vocab |= log_vocabulary(events)
+    vocab.add(f"outcome|{genome.mode}|{'pass' if ok else 'fail'}")
+    if not ok:
+        vocab.add(f"outcome|{genome.mode}|{normalize_log_line(reason)}")
+    return Outcome(
+        ok=ok,
+        verdict=verdict,
+        reason=reason,
+        vocab=frozenset(vocab),
+        faults_fired=faults_fired,
+        trace_events=tracer.num_events,
+    )
+
+
+__all__ = ["Outcome", "build_run", "execute"]

@@ -1,0 +1,40 @@
+"""Genome-level mutation: workload knobs + the embedded fault schedule.
+
+Schedule genetics live in :mod:`repro.faults.mutate`; this module adds
+the workload axis (op/key counts, workload seed) and keeps the schedule
+consistent with the resized horizon via :func:`clamp_schedule`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.faults.mutate import clamp_schedule, mutate_schedule
+from repro.fuzz.genome import KEYS_BOUNDS, OPS_BOUNDS, Genome
+from repro.sim.rng import RandomStream
+
+
+def _clamp(value: int, lo: int, hi: int) -> int:
+    return max(lo, min(hi, value))
+
+
+def mutate_genome(genome: Genome, rng: RandomStream) -> Genome:
+    """One mutation step: maybe nudge the workload, always mutate faults."""
+    g = genome
+    roll = rng.random()
+    if roll < 0.10:
+        lo, hi = OPS_BOUNDS[g.mode]
+        ops = _clamp(int(g.num_ops * rng.uniform(0.6, 1.6)), lo, hi)
+        g = replace(g, num_ops=ops)
+        # The horizon moved: fold existing triggers back inside it.
+        g = g.with_schedule(clamp_schedule(g.schedule, g.mutation_context()))
+    elif roll < 0.18:
+        lo, hi = KEYS_BOUNDS[g.mode]
+        keys = _clamp(int(g.num_keys * rng.uniform(0.5, 2.0)), lo, hi)
+        g = replace(g, num_keys=keys)
+    elif roll < 0.25:
+        g = replace(g, workload_seed=rng.randint(0, 2**31 - 1))
+    return g.with_schedule(mutate_schedule(g.schedule, rng, g.mutation_context()))
+
+
+__all__ = ["mutate_genome"]

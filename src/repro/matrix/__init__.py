@@ -1,0 +1,50 @@
+"""Declarative experiment matrix over devices, workloads and faults.
+
+The registry (:mod:`repro.matrix.registry`) declares device × workload
+× fault-scenario grids as data; the runner executes each cell in its
+own simulated universe (bit-identical for any ``--jobs``); the renderer
+regenerates the markdown tables embedded in ``EXPERIMENTS.md`` between
+``<!-- matrix:begin ID -->`` markers.  ``python -m repro.matrix``
+checks the committed tables against a fresh run (CI), ``--write``
+refreshes them.
+"""
+
+from repro.matrix.registry import (
+    DEVICES,
+    MATRIX_PRESET,
+    MATRIX_SEED,
+    SCENARIOS,
+    TABLES,
+    CellSpec,
+    FaultScenario,
+    TableSpec,
+    table_by_id,
+)
+from repro.matrix.render import (
+    begin_marker,
+    end_marker,
+    extract_block,
+    inject_block,
+    render_table,
+)
+from repro.matrix.runner import CELL_METRICS, run_cell, run_cells
+
+__all__ = [
+    "CELL_METRICS",
+    "CellSpec",
+    "DEVICES",
+    "FaultScenario",
+    "MATRIX_PRESET",
+    "MATRIX_SEED",
+    "SCENARIOS",
+    "TABLES",
+    "TableSpec",
+    "begin_marker",
+    "end_marker",
+    "extract_block",
+    "inject_block",
+    "render_table",
+    "run_cell",
+    "run_cells",
+    "table_by_id",
+]

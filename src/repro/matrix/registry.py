@@ -1,0 +1,213 @@
+"""The declarative experiment matrix: what to run, in tables.
+
+A :class:`TableSpec` declares one device × workload × fault grid as
+data; :mod:`repro.matrix.runner` turns each cell into a simulated run
+and :mod:`repro.matrix.render` turns the results into the markdown
+tables embedded in ``EXPERIMENTS.md`` between ``<!-- matrix:begin ID
+-->`` / ``<!-- matrix:end ID -->`` markers.  Because every cell builds
+its own engine/RNG universe from one fixed seed, regenerating a table
+is byte-identical for any ``--jobs`` value — which is what lets CI
+*check* the committed tables instead of trusting them.
+
+Tables registered here:
+
+* ``ycsb-devices`` — the paper's three device classes × the six YCSB
+  core workloads plus the repo's two extended mixes (``scan-heavy``,
+  ``rmw``), fault-free.
+* ``fault-grid`` — the same devices under workload A while the device
+  path degrades: clean, a latency-spike storm, and a stall window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import WorkloadError
+from repro.faults import LATENCY_SPIKE, STALL, FaultSchedule, FaultSpec
+from repro.harness.presets import TINY, ScalePreset
+from repro.sim.units import ms, seconds, us
+from repro.workloads.ycsb import MATRIX_WORKLOADS
+
+#: One fixed seed for every cell: the matrix is a regression surface,
+#: not a sweep, so one deterministic universe per cell is the point.
+MATRIX_SEED = 1
+
+#: The paper's three device classes, in the paper's slow-to-fast order.
+DEVICES: Tuple[str, ...] = ("sata-flash", "pcie-flash", "xpoint")
+
+#: The matrix runs at a reduced copy of the ``tiny`` preset: same data
+#: shape and cache ratios, shorter horizon (cells are grid points, not
+#: timelines — a few flush/compaction cycles suffice).
+MATRIX_PRESET: ScalePreset = ScalePreset(
+    name="matrix",
+    key_count=TINY.key_count,
+    value_size=TINY.value_size,
+    duration_ns=seconds(0.4),
+    processes=TINY.processes,
+    write_buffer_size=TINY.write_buffer_size,
+    max_bytes_for_level_base=TINY.max_bytes_for_level_base,
+    target_file_size_base=TINY.target_file_size_base,
+    page_cache_bytes=TINY.page_cache_bytes,
+    block_cache_bytes=TINY.block_cache_bytes,
+)
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """One named degradation of the device path, sized by run fractions.
+
+    ``window`` is a fraction pair of the cell's duration; ``kind`` is a
+    non-error device fault (``latency_spike``/``stall``) or ``""`` for
+    the clean baseline.  Only non-error kinds are allowed: the YCSB
+    clients model the paper's measurement path, which never sees I/O
+    *errors* — error storms belong to the DST/fuzz harnesses.
+    """
+
+    name: str
+    label: str
+    kind: str = ""
+    window: Tuple[float, float] = (0.0, 0.0)
+    extra_ns: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("", LATENCY_SPIKE, STALL):
+            raise WorkloadError(
+                f"scenario {self.name!r}: kind must be clean/latency_spike/stall, "
+                f"got {self.kind!r}"
+            )
+        lo, hi = self.window
+        if self.kind and not 0.0 <= lo < hi <= 1.0:
+            raise WorkloadError(
+                f"scenario {self.name!r}: window {self.window} is not a "
+                "fraction interval"
+            )
+        if self.kind and self.extra_ns <= 0:
+            raise WorkloadError(f"scenario {self.name!r} needs extra_ns > 0")
+
+    def schedule(self, duration_ns: int) -> FaultSchedule:
+        """The concrete schedule for one cell of ``duration_ns``."""
+        schedule = FaultSchedule()
+        if self.kind:
+            lo, hi = self.window
+            schedule.add(
+                FaultSpec(
+                    self.kind,
+                    at_time=int(duration_ns * lo),
+                    until_time=int(duration_ns * hi),
+                    count=10**9,  # every matching op inside the window
+                    extra_ns=self.extra_ns,
+                )
+            )
+        return schedule
+
+
+CLEAN = FaultScenario("clean", "clean")
+IO_SPIKES = FaultScenario(
+    "io-spikes",
+    "latency spikes (+400 µs, 30–70 %)",
+    kind=LATENCY_SPIKE,
+    window=(0.30, 0.70),
+    extra_ns=us(400),
+)
+STALLS = FaultScenario(
+    "stalls",
+    "I/O stalls (+4 ms, 30–70 %)",
+    kind=STALL,
+    window=(0.30, 0.70),
+    extra_ns=ms(4),
+)
+
+SCENARIOS: Dict[str, FaultScenario] = {
+    s.name: s for s in (CLEAN, IO_SPIKES, STALLS)
+}
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One grid point, resolvable by workers from the registry alone."""
+
+    table_id: str
+    device: str
+    workload: str
+    scenario: str
+
+    def __post_init__(self) -> None:
+        if self.workload not in MATRIX_WORKLOADS:
+            raise WorkloadError(
+                f"unknown matrix workload {self.workload!r} "
+                f"(choose from {sorted(MATRIX_WORKLOADS)})"
+            )
+        if self.scenario not in SCENARIOS:
+            raise WorkloadError(
+                f"unknown fault scenario {self.scenario!r} "
+                f"(choose from {sorted(SCENARIOS)})"
+            )
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """One registered table: a grid plus how to pivot it into markdown."""
+
+    table_id: str
+    title: str
+    devices: Tuple[str, ...]
+    workloads: Tuple[str, ...]
+    scenarios: Tuple[str, ...] = ("clean",)
+    #: ``workload`` rows × device columns, or ``scenario`` rows.
+    rows: str = "workload"
+
+    def __post_init__(self) -> None:
+        if self.rows not in ("workload", "scenario"):
+            raise WorkloadError(f"rows must be workload|scenario, not {self.rows!r}")
+
+    def cells(self) -> Tuple[CellSpec, ...]:
+        """Row-major cell order — also the execution and merge order."""
+        out = []
+        if self.rows == "workload":
+            for workload in self.workloads:
+                for device in self.devices:
+                    for scenario in self.scenarios:
+                        out.append(
+                            CellSpec(self.table_id, device, workload, scenario)
+                        )
+        else:
+            for scenario in self.scenarios:
+                for device in self.devices:
+                    for workload in self.workloads:
+                        out.append(
+                            CellSpec(self.table_id, device, workload, scenario)
+                        )
+        return tuple(out)
+
+
+YCSB_DEVICES = TableSpec(
+    table_id="ycsb-devices",
+    title="YCSB core + extended mixes across the paper's device classes",
+    devices=DEVICES,
+    workloads=tuple(MATRIX_WORKLOADS),
+    scenarios=("clean",),
+    rows="workload",
+)
+
+FAULT_GRID = TableSpec(
+    table_id="fault-grid",
+    title="Workload A under device-path degradation",
+    devices=DEVICES,
+    workloads=("A",),
+    scenarios=("clean", "io-spikes", "stalls"),
+    rows="scenario",
+)
+
+TABLES: Dict[str, TableSpec] = {
+    t.table_id: t for t in (YCSB_DEVICES, FAULT_GRID)
+}
+
+
+def table_by_id(table_id: str) -> TableSpec:
+    try:
+        return TABLES[table_id]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown matrix table {table_id!r} (choose from {sorted(TABLES)})"
+        ) from None

@@ -1,0 +1,76 @@
+"""Cell execution for the experiment matrix.
+
+Each cell builds a complete universe from scratch — engine, device (a
+:class:`~repro.faults.device.FaultyDevice` even when the schedule is
+empty, so clean and degraded cells run the *same* code path), page
+cache, filesystem, prefilled DB — then drives the cell's YCSB mix for
+the matrix preset's duration and reports throughput and latency
+percentiles.  ``run_cells`` fans cells out over
+:func:`~repro.perf.parallel.map_points`; because nothing is shared
+between cells, results are bit-identical for any jobs value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.faults.device import FaultyDevice
+from repro.faults.injector import FaultInjector
+from repro.fs.filesystem import SimFileSystem
+from repro.fs.page_cache import PageCache
+from repro.lsm.db import DB
+from repro.matrix.registry import (
+    MATRIX_PRESET,
+    MATRIX_SEED,
+    CellSpec,
+    SCENARIOS,
+)
+from repro.perf.parallel import map_points
+from repro.sim.engine import Engine
+from repro.sim.rng import RandomStream
+from repro.storage.profiles import profile_by_name
+from repro.workloads.prefill import prefill
+from repro.workloads.ycsb import MATRIX_WORKLOADS, YcsbRunner
+
+#: The metric keys every cell reports, in render order.
+CELL_METRICS = ("kops", "p50_us", "p99_us", "faults")
+
+
+def run_cell(cell: CellSpec) -> Dict[str, float]:
+    """Execute one grid cell in a fresh universe; the worker function."""
+    preset = MATRIX_PRESET
+    scenario = SCENARIOS[cell.scenario]
+    schedule = scenario.schedule(preset.duration_ns)
+
+    engine = Engine()
+    rng = RandomStream(
+        MATRIX_SEED, f"matrix/{cell.device}/{cell.workload}/{cell.scenario}"
+    )
+    injector = FaultInjector(engine, schedule)
+    device = FaultyDevice(
+        engine, profile_by_name(cell.device), injector, rng.fork("device")
+    )
+    fs = SimFileSystem(engine, device, PageCache(preset.page_cache_bytes))
+    db = DB(engine, fs, preset.options(), rng=rng.fork("db"))
+    prefill(db, preset.prefill_spec())
+
+    runner = YcsbRunner(
+        MATRIX_WORKLOADS[cell.workload],
+        key_count=preset.key_count,
+        value_size=preset.value_size,
+        clients=preset.processes,
+        duration_ns=preset.duration_ns,
+        seed=MATRIX_SEED,
+    )
+    result = runner.run(db)
+    return {
+        "kops": round(result.kops, 1),
+        "p50_us": round(result.latency.percentile(50) / 1e3, 1),
+        "p99_us": round(result.latency.percentile(99) / 1e3, 1),
+        "faults": float(len(injector.log)),
+    }
+
+
+def run_cells(cells: Sequence[CellSpec], jobs: int = 1) -> List[Dict[str, float]]:
+    """Run cells (optionally in worker processes), results in cell order."""
+    return map_points(run_cell, list(cells), jobs)

@@ -38,6 +38,13 @@ from repro.obs.tracer import (
     active_tracer,
     set_active_tracer,
 )
+from repro.obs.vocab import (
+    log_vocabulary,
+    normalize_log_line,
+    normalize_trace_name,
+    trace_vocabulary,
+    vocabulary_fingerprint,
+)
 
 __all__ = [
     "EngineTracer",
@@ -46,8 +53,13 @@ __all__ = [
     "Tracer",
     "active_tracer",
     "busiest_device_windows",
+    "log_vocabulary",
+    "normalize_log_line",
+    "normalize_trace_name",
     "set_active_tracer",
     "stall_episodes",
     "summarize",
     "tenant_slo_digest",
+    "trace_vocabulary",
+    "vocabulary_fingerprint",
 ]

@@ -1,0 +1,81 @@
+"""Trace-vocabulary fingerprints: the fuzzer's coverage signal.
+
+A run's *vocabulary* is the set of distinct ``(track, phase, name)``
+trace items plus the distinct shapes of harness event-log lines — i.e.
+which states, transitions and code paths the run visited, not how often
+or when.  Two runs that exercise the same machinery produce the same
+vocabulary even when their timings differ, which is exactly the
+abstraction a coverage-guided fuzzer wants: a mutated schedule is
+*interesting* iff it makes the system say something it has never said
+before (a new write-controller state transition, a new error-handler
+severity path, a new failover/rejection message shape).
+
+Normalisation keeps the vocabulary finite: unbounded numerals (op
+indices, byte counts, virtual timestamps) are folded to ``#`` while
+zero/nonzero and short structural digits (level numbers ``L0->L1``,
+node ids) survive, so "wal_bad=0" and "wal_bad=3" stay distinct shapes
+but "wal_bad=3" and "wal_bad=7" do not.
+
+The fingerprint is an md5 over the sorted vocabulary: order-free, so it
+is invariant across ``--jobs`` interleavings by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from typing import FrozenSet, Iterable
+
+#: Digit runs of length >= 2 in trace names/tracks are unbounded ids
+#: (timestamps, byte counts); single digits are structural (L0, node1).
+_LONG_DIGITS = re.compile(r"\d{2,}")
+#: In free-form log lines every numeral is folded, keeping only the
+#: zero/nonzero distinction (e.g. "cut=0" vs "cut=<some>").
+_ALL_DIGITS = re.compile(r"\d+")
+
+
+def normalize_trace_name(text: str) -> str:
+    """Fold unbounded numerals in a trace track/name to ``#``."""
+    return _LONG_DIGITS.sub("#", text)
+
+
+def normalize_log_line(line: str) -> str:
+    """Fold a harness event-log line to its shape.
+
+    The leading virtual timestamp (``t=<ns> ...``) is stripped entirely;
+    remaining numerals become ``0`` or ``#`` (zero vs nonzero).
+    """
+    if line.startswith("t=") or line.startswith("op="):
+        parts = line.split(" ", 1)
+        line = parts[1] if len(parts) == 2 else ""
+    return _ALL_DIGITS.sub(lambda m: "0" if m.group() == "0" else "#", line)
+
+
+def trace_vocabulary(tracer) -> FrozenSet[str]:
+    """Distinct normalised ``track|phase|name`` items of a tracer."""
+    items = set()
+    for track, ph, name, _ts, _dur, _args in tracer.iter_events():
+        items.add(
+            f"trace|{normalize_trace_name(track)}|{ph}|{normalize_trace_name(name)}"
+        )
+    return frozenset(items)
+
+
+def log_vocabulary(lines: Iterable[str]) -> FrozenSet[str]:
+    """Distinct normalised shapes of harness event-log lines."""
+    return frozenset(f"log|{normalize_log_line(line)}" for line in lines)
+
+
+def vocabulary_fingerprint(items: Iterable[str]) -> str:
+    """Order-free md5 over a vocabulary (or any merged set of items)."""
+    blob = "\n".join(sorted(set(items))).encode("utf-8")
+    return hashlib.md5(blob).hexdigest()
+
+
+__all__ = [
+    "log_vocabulary",
+    "normalize_log_line",
+    "normalize_trace_name",
+    "trace_vocabulary",
+    "vocabulary_fingerprint",
+]

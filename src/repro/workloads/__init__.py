@@ -15,6 +15,7 @@ from repro.workloads.generators import (
 from repro.workloads.prefill import PrefillSpec, prefill
 from repro.workloads.ycsb import (
     CORE_WORKLOADS,
+    MATRIX_WORKLOADS,
     LatestGenerator,
     YcsbResult,
     YcsbRunner,
@@ -25,6 +26,7 @@ from repro.workloads.ycsb import (
 __all__ = [
     "BenchResult",
     "CORE_WORKLOADS",
+    "MATRIX_WORKLOADS",
     "LatestGenerator",
     "YcsbResult",
     "YcsbRunner",

@@ -145,6 +145,22 @@ CORE_WORKLOADS: Dict[str, YcsbSpec] = {
     for spec in (WORKLOAD_A, WORKLOAD_B, WORKLOAD_C, WORKLOAD_D, WORKLOAD_E, WORKLOAD_F)
 }
 
+# Extended mixes for the experiment matrix (repro.matrix).  "scan-heavy"
+# pushes range reads much harder than YCSB E's insert-diluted 95/5 (the
+# scatter-gather shape a range-sharded serving tier cares about);
+# "rmw" concentrates on the read-modify-write cycle that YCSB F only
+# half-exercises.
+WORKLOAD_SCAN_HEAVY = YcsbSpec("scan-heavy", read=0.2, update=0.1, scan=0.7)
+WORKLOAD_RMW = YcsbSpec("rmw", read=0.1, rmw=0.9)
+
+#: Every named mix the experiment matrix can reference: the six YCSB core
+#: workloads plus the extended mixes above.
+MATRIX_WORKLOADS: Dict[str, YcsbSpec] = {
+    **CORE_WORKLOADS,
+    WORKLOAD_SCAN_HEAVY.name: WORKLOAD_SCAN_HEAVY,
+    WORKLOAD_RMW.name: WORKLOAD_RMW,
+}
+
 
 @dataclass
 class YcsbResult:

@@ -60,12 +60,13 @@ class TestFailover:
         # The old leader rejoins: its 3-group tail diverges from the new
         # branch and must be physically truncated, never to resurrect.
         cluster.restart_node(old)
-        assert len(cluster.truncated_tags) == 3
+        assert len(cluster.truncated_identities) == 3
         assert settle(engine, cluster, ms(200))
         leader_tags = [g.tag for g in cluster.leader_node.log]
         for node in cluster.nodes:
             assert [g.tag for g in node.log] == leader_tags
-        assert not (cluster.truncated_tags & set(leader_tags))
+        leader_ids = {g.identity for g in cluster.leader_node.log}
+        assert not (cluster.truncated_identities & leader_ids)
         assert not cluster.violations
 
     def test_election_prefers_newer_term_over_longer_log(self):
@@ -91,10 +92,10 @@ class TestFailover:
         assert winner is not None
         assert winner != node0, "longer stale-term log must not win"
         # The acked term-2 writes survive; node 0's tail was truncated.
-        assert len(cluster.truncated_tags) == 5
+        assert len(cluster.truncated_identities) == 5
         assert settle(engine, cluster, ms(200))
-        leader_tags = [g.tag for g in cluster.leader_node.log]
-        assert not (cluster.truncated_tags & set(leader_tags))
+        leader_ids = {g.identity for g in cluster.leader_node.log}
+        assert not (cluster.truncated_identities & leader_ids)
         for i, acked, _seq in results:
             key = b"k%03d" % (i % 8)
             assert read_key(engine, cluster.leader_node.db, key) is not None

@@ -91,6 +91,6 @@ class TestCrashPartitionProperty:
             result.events[-25:]
         )
         assert result.crashes == 1
-        truncated = run.cluster.truncated_tags
+        truncated = run.cluster.truncated_identities
         for node in run.cluster.nodes:
-            assert not (truncated & {g.tag for g in node.log})
+            assert not (truncated & {g.identity for g in node.log})

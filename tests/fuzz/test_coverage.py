@@ -1,0 +1,89 @@
+"""The coverage signal and the fuzz loop: determinism and jobs-invariance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.fuzzer import FuzzConfig, run_fuzz
+from repro.fuzz.genome import MODE_DST
+from repro.obs.vocab import (
+    log_vocabulary,
+    normalize_log_line,
+    normalize_trace_name,
+    vocabulary_fingerprint,
+)
+
+pytestmark = pytest.mark.fuzz
+
+
+class TestNormalization:
+    def test_trace_names_fold_long_digit_runs(self):
+        assert normalize_trace_name("compact-L0-000042") == "compact-L0-#"
+        assert normalize_trace_name("wal/17.log") == "wal/#.log"
+        # Single digits are structure (level numbers), not identifiers.
+        assert normalize_trace_name("flush-L0") == "flush-L0"
+
+    def test_log_lines_fold_values_not_shape(self):
+        a = normalize_log_line("t=123456 write_error write transient=True")
+        b = normalize_log_line("t=998 write_error write transient=True")
+        assert a == b
+        assert "123456" not in a
+
+    def test_zero_stays_distinguishable(self):
+        # "0 faults fired" and "N faults fired" are different behaviours.
+        zero = normalize_log_line("faults_fired=0")
+        some = normalize_log_line("faults_fired=7")
+        assert zero != some
+
+    def test_fingerprint_is_order_free(self):
+        items = ["b", "a", "c"]
+        assert vocabulary_fingerprint(items) == vocabulary_fingerprint(
+            reversed(items)
+        )
+        assert vocabulary_fingerprint(items) == vocabulary_fingerprint(
+            items + ["a"]
+        )
+
+    def test_log_vocabulary_dedupes_shapes(self):
+        # Timestamps and magnitudes are values (folded); read-vs-write is
+        # shape (kept).
+        lines = [
+            "t=1 latency_spike read +5000ns",
+            "t=2 latency_spike read +800ns",
+            "t=9 latency_spike write +5000ns",
+        ]
+        assert len(log_vocabulary(lines)) == 2
+
+
+class TestFuzzLoop:
+    CONFIG = dict(
+        seed=3,
+        iters=6,
+        batch=3,
+        modes=(MODE_DST,),
+        corpus_dir=None,  # bootstrap seeds only: no filesystem dependence
+        minimize_crashers=False,
+    )
+
+    def test_same_seed_same_report(self):
+        a = run_fuzz(FuzzConfig(**self.CONFIG))
+        b = run_fuzz(FuzzConfig(**self.CONFIG))
+        assert a.coverage == b.coverage
+        assert a.fingerprint == b.fingerprint
+        assert a.executed == b.executed == 6
+        assert len(a.crashers) == len(b.crashers)
+
+    def test_jobs_do_not_change_results(self):
+        serial = run_fuzz(FuzzConfig(**self.CONFIG, jobs=1))
+        parallel = run_fuzz(FuzzConfig(**self.CONFIG, jobs=2))
+        assert serial.coverage == parallel.coverage
+        assert serial.fingerprint == parallel.fingerprint
+        assert serial.pool_size == parallel.pool_size
+        assert [c.signature for c in serial.crashers] == [
+            c.signature for c in parallel.crashers
+        ]
+
+    def test_bootstrap_seeds_find_no_crashers(self):
+        report = run_fuzz(FuzzConfig(**self.CONFIG))
+        assert not report.crashers
+        assert report.coverage_count > 0

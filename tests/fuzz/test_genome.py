@@ -1,0 +1,133 @@
+"""Genome serialisation, validation, and bootstrap/harness equivalence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dst.harness import DstConfig, DstRun
+from repro.errors import FaultConfigError
+from repro.faults import CRASH, LATENCY_SPIKE, FaultSchedule, FaultSpec
+from repro.fuzz.corpus import bootstrap_genomes
+from repro.fuzz.executor import build_run, execute
+from repro.fuzz.genome import (
+    MODE_CLUSTER,
+    MODE_DST,
+    MODE_STORM,
+    MODES,
+    OPS_BOUNDS,
+    Genome,
+)
+
+pytestmark = pytest.mark.fuzz
+
+
+def _dst_genome(**overrides) -> Genome:
+    base = dict(
+        mode=MODE_DST,
+        workload_seed=3,
+        num_ops=200,
+        num_keys=16,
+        schedule=FaultSchedule(
+            [
+                FaultSpec(LATENCY_SPIKE, at_time=1000, extra_ns=5000),
+                FaultSpec(CRASH, at_time=2_000_000),
+            ]
+        ),
+    )
+    base.update(overrides)
+    return Genome(**base)
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_identity(self):
+        g = _dst_genome()
+        again = Genome.from_json(g.to_json())
+        assert again == g
+
+    def test_serialisation_is_byte_stable(self):
+        g = _dst_genome()
+        assert g.to_json() == Genome.from_json(g.to_json()).to_json()
+
+    def test_cluster_and_storm_fields_survive(self):
+        cluster = Genome(
+            MODE_CLUSTER, workload_seed=1, num_ops=80, num_keys=12, n_nodes=3
+        )
+        storm = Genome(
+            MODE_STORM, workload_seed=2, num_ops=200, num_keys=24, storm_kind="io"
+        )
+        assert Genome.from_json(cluster.to_json()).n_nodes == 3
+        assert Genome.from_json(storm.to_json()).storm_kind == "io"
+
+    def test_mode_specific_keys_are_elided(self):
+        head = json.loads(_dst_genome().to_json())
+        assert "n_nodes" not in head and "storm_kind" not in head
+
+
+class TestValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(FaultConfigError):
+            Genome("nope", workload_seed=0, num_ops=100, num_keys=16)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_ops_bounds_enforced(self, mode):
+        lo, hi = OPS_BOUNDS[mode]
+        extra = (
+            {"n_nodes": 3}
+            if mode == MODE_CLUSTER
+            else {"storm_kind": "io"}
+            if mode == MODE_STORM
+            else {}
+        )
+        with pytest.raises(FaultConfigError):
+            Genome(mode, workload_seed=0, num_ops=hi + 1, num_keys=16, **extra)
+        with pytest.raises(FaultConfigError):
+            Genome(mode, workload_seed=0, num_ops=lo - 1, num_keys=16, **extra)
+
+    def test_cluster_needs_nodes_and_storm_needs_kind(self):
+        with pytest.raises(FaultConfigError):
+            Genome(MODE_CLUSTER, workload_seed=0, num_ops=80, num_keys=12)
+        with pytest.raises(FaultConfigError):
+            Genome(MODE_STORM, workload_seed=0, num_ops=200, num_keys=16)
+        with pytest.raises(FaultConfigError):
+            Genome(MODE_DST, workload_seed=0, num_ops=100, num_keys=16, n_nodes=3)
+
+    def test_garbage_json_rejected(self):
+        with pytest.raises(FaultConfigError):
+            Genome.from_json("not json")
+        with pytest.raises(FaultConfigError):
+            Genome.from_json("[1, 2]")
+        with pytest.raises(FaultConfigError):
+            Genome.from_json('{"fuzz_genome": 99}')
+
+
+class TestBootstrap:
+    def test_bootstrap_covers_requested_modes(self):
+        genomes = bootstrap_genomes()
+        assert {g.mode for g in genomes} == set(MODES)
+        only_dst = bootstrap_genomes([MODE_DST])
+        assert {g.mode for g in only_dst} == {MODE_DST}
+
+    def test_bootstrap_genomes_round_trip(self):
+        for g in bootstrap_genomes():
+            assert Genome.from_json(g.to_json()) == g
+
+    def test_dst_bootstrap_equals_native_harness_run(self):
+        # The bootstrap genome pre-draws the schedule the harness would
+        # draw itself; replaying it through the executor's config
+        # override must reproduce the native run event-for-event.
+        genome = next(g for g in bootstrap_genomes([MODE_DST]) if g.workload_seed == 0)
+        native = DstRun(0, DstConfig()).run()
+        replayed = build_run(genome).run()
+        assert replayed.ok == native.ok
+        assert replayed.events == native.events
+
+    def test_executor_outcome_is_deterministic(self):
+        genome = next(iter(bootstrap_genomes([MODE_DST])))
+        a = execute(genome)
+        b = execute(genome)
+        assert a.ok and b.ok
+        assert a.vocab == b.vocab
+        assert a.faults_fired == b.faults_fired
+        assert a.trace_events == b.trace_events

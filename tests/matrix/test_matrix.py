@@ -1,0 +1,152 @@
+"""The declarative experiment matrix: registry, rendering, determinism."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.faults import LATENCY_SPIKE, READ_ERROR, STALL
+from repro.matrix.registry import (
+    DEVICES,
+    SCENARIOS,
+    TABLES,
+    CellSpec,
+    FaultScenario,
+    table_by_id,
+)
+from repro.matrix.render import (
+    begin_marker,
+    end_marker,
+    extract_block,
+    inject_block,
+    render_table,
+)
+from repro.matrix.runner import CELL_METRICS, run_cell, run_cells
+from repro.sim.units import ms, seconds, us
+from repro.workloads.ycsb import MATRIX_WORKLOADS
+
+pytestmark = pytest.mark.matrix
+
+EXPERIMENTS_MD = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "EXPERIMENTS.md"
+)
+
+
+class TestRegistry:
+    def test_tables_are_well_formed(self):
+        assert len(TABLES) >= 2
+        for table in TABLES.values():
+            cells = table.cells()
+            assert cells, table.table_id
+            assert len(set(cells)) == len(cells)
+            for cell in cells:  # CellSpec validates on construction
+                assert cell.device in DEVICES
+                assert cell.workload in MATRIX_WORKLOADS
+                assert cell.scenario in SCENARIOS
+
+    def test_registered_grids_cover_the_issue_contract(self):
+        ycsb = table_by_id("ycsb-devices")
+        assert set(ycsb.workloads) == set(MATRIX_WORKLOADS)
+        assert ycsb.devices == DEVICES
+        grid = table_by_id("fault-grid")
+        assert set(grid.scenarios) == {"clean", "io-spikes", "stalls"}
+
+    def test_unknown_lookups_raise(self):
+        with pytest.raises(WorkloadError):
+            table_by_id("nope")
+        with pytest.raises(WorkloadError):
+            CellSpec("fault-grid", "sata-flash", "Z", "clean")
+        with pytest.raises(WorkloadError):
+            CellSpec("fault-grid", "sata-flash", "A", "earthquake")
+
+    def test_scenarios_reject_error_kinds_and_bad_windows(self):
+        with pytest.raises(WorkloadError):
+            FaultScenario("bad", "bad", kind=READ_ERROR, window=(0.1, 0.5), extra_ns=1)
+        with pytest.raises(WorkloadError):
+            FaultScenario("bad", "bad", kind=STALL, window=(0.5, 0.1), extra_ns=ms(1))
+        with pytest.raises(WorkloadError):
+            FaultScenario("bad", "bad", kind=STALL, window=(0.1, 0.5))
+
+    def test_scenario_schedules_scale_with_duration(self):
+        spikes = SCENARIOS["io-spikes"]
+        schedule = spikes.schedule(seconds(1.0))
+        (spec,) = schedule.specs
+        assert spec.kind == LATENCY_SPIKE
+        assert spec.at_time == int(seconds(1.0) * spikes.window[0])
+        assert spec.until_time == int(seconds(1.0) * spikes.window[1])
+        assert not SCENARIOS["clean"].schedule(seconds(1.0)).specs
+
+
+class TestRender:
+    def _fake_results(self, table):
+        return [
+            {m: float(i + j) for j, m in enumerate(CELL_METRICS)}
+            for i in range(len(table.cells()))
+        ]
+
+    @pytest.mark.parametrize("table_id", sorted(TABLES))
+    def test_blocks_are_marked_and_deterministic(self, table_id):
+        table = TABLES[table_id]
+        results = self._fake_results(table)
+        block = render_table(table, table.cells(), results)
+        assert block.startswith(begin_marker(table_id))
+        assert block.endswith(end_marker(table_id))
+        assert block == render_table(table, table.cells(), results)
+
+    def test_inject_extract_round_trip(self):
+        table = TABLES["fault-grid"]
+        doc = (
+            "# Doc\n\nintro\n\n"
+            f"{begin_marker(table.table_id)}\nstale\n{end_marker(table.table_id)}\n\n"
+            "outro\n"
+        )
+        block = render_table(table, table.cells(), self._fake_results(table))
+        injected = inject_block(doc, table.table_id, block)
+        assert extract_block(injected, table.table_id) == block
+        assert injected.startswith("# Doc\n\nintro\n\n")
+        assert injected.endswith("\n\noutro\n")
+        # Re-injecting the same block is idempotent.
+        assert inject_block(injected, table.table_id, block) == injected
+
+    def test_missing_markers_raise(self):
+        with pytest.raises(WorkloadError):
+            extract_block("no markers here", "fault-grid")
+        with pytest.raises(WorkloadError):
+            inject_block("no markers here", "fault-grid", "block")
+
+    def test_experiments_md_carries_every_table_block(self):
+        with open(EXPERIMENTS_MD, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        for table_id in TABLES:
+            block = extract_block(text, table_id)
+            # The committed block is rendered, not a bare marker pair.
+            assert "| " in block and table_id in block
+
+
+class TestExecution:
+    CELL = CellSpec("fault-grid", "sata-flash", "A", "clean")
+
+    def test_cells_report_every_metric(self):
+        result = run_cell(self.CELL)
+        assert set(result) == set(CELL_METRICS)
+        assert result["kops"] > 0
+        assert result["p99_us"] >= result["p50_us"] > 0
+        assert result["faults"] == 0
+
+    def test_fault_cells_fire_and_degrade(self):
+        clean = run_cell(self.CELL)
+        stalled = run_cell(CellSpec("fault-grid", "sata-flash", "A", "stalls"))
+        assert stalled["faults"] > 0
+        assert stalled["kops"] < clean["kops"]
+
+    def test_cells_are_deterministic_and_jobs_invariant(self):
+        cells = [
+            self.CELL,
+            CellSpec("fault-grid", "sata-flash", "A", "io-spikes"),
+        ]
+        serial = run_cells(cells, jobs=1)
+        parallel = run_cells(cells, jobs=2)
+        assert serial == parallel
+        assert serial[0] == run_cell(self.CELL)
