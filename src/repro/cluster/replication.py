@@ -680,6 +680,63 @@ class Cluster:
         value = yield from node.db.get(key)
         return value
 
+    def applied_seq(self, node_id: int) -> int:
+        """The sequence through which ``node_id`` has durably applied.
+
+        For the leader this is its durability watermark (every acked
+        write is at or below it); for a follower it is the last shipped
+        group it fsynced.  Hedged readers compare this against a
+        session's last acked write to keep follower reads
+        read-your-writes safe.
+        """
+        return self.nodes[node_id].durable_seq
+
+    def get_from(self, node_id: int, key: bytes):
+        """Generator: read one replica; ``(value, applied_seq)`` or None.
+
+        None means the replica is not serving (crashed or staged).  The
+        returned ``applied_seq`` is sampled *before* the read starts, so
+        it is a conservative lower bound on the state the value reflects.
+        """
+        node = self.nodes[node_id]
+        if not node.active or node.db is None:
+            return None
+        seq = node.durable_seq
+        value = yield from node.db.get(key)
+        if not node.active:
+            return None  # crashed mid-read: the view is dead
+        return (value, seq)
+
+    def scan(self, start: bytes, end: bytes, limit: Optional[int] = None):
+        """Generator: leader-only range scan (None when no leader)."""
+        node = self.leader_node
+        if node is None or not node.active or node.db is None:
+            return None
+        result = yield from node.db.scan(start, end, limit=limit)
+        return result
+
+    def write_quorum_reachable(self) -> bool:
+        """True when the leader can currently assemble an ack quorum.
+
+        The admission-controller brownout probe: counts the leader plus
+        every active follower the network would presently deliver to
+        (not down, not across an open partition).  Deterministic and
+        side-effect free — it reads clock-driven window state only.
+        """
+        leader = self.leader_node
+        if leader is None or not leader.active:
+            return False
+        reachable = 1
+        for node in self.nodes:
+            if node.node_id == leader.node_id or not node.active:
+                continue
+            if self.network.down[node.node_id]:
+                continue
+            if self.network.partitioned(leader.node_id, node.node_id):
+                continue
+            reachable += 1
+        return reachable >= self.quorum
+
     def _client_write(self, kind: str, key: bytes, value):
         node = self.leader_node
         if node is None or not node.active or node.db is None:

@@ -27,6 +27,7 @@ repro command line.
 
 from repro.dst.cluster import ClusterDstConfig, ClusterDstResult, ClusterDstRun
 from repro.dst.harness import DstConfig, DstResult, DstRun
+from repro.dst.serving import ServingDstConfig, ServingDstResult, ServingDstRun
 
 __all__ = [
     "ClusterDstConfig",
@@ -35,4 +36,7 @@ __all__ = [
     "DstConfig",
     "DstResult",
     "DstRun",
+    "ServingDstConfig",
+    "ServingDstResult",
+    "ServingDstRun",
 ]

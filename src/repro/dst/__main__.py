@@ -16,6 +16,7 @@ from typing import List, Optional
 
 from repro.dst.cluster import ClusterDstConfig, ClusterDstRun
 from repro.dst.harness import DstConfig, DstResult, DstRun
+from repro.dst.serving import ServingDstConfig, ServingDstRun
 from repro.dst.storm import STORM_AUTO, STORM_KINDS, StormConfig, StormRun
 from repro.faults import FaultSchedule
 from repro.perf.parallel import default_jobs, imap_points
@@ -44,6 +45,12 @@ def _repro_line(args: argparse.Namespace, seed: int) -> str:
         parts.append("--cluster")
         if args.nodes != 3:
             parts.append(f"--nodes {args.nodes}")
+    if args.serving:
+        parts.append("--serving")
+        if args.shards != 2:
+            parts.append(f"--shards {args.shards}")
+        if args.replicas != 3:
+            parts.append(f"--replicas {args.replicas}")
     if args.ops != 300:
         parts.append(f"--ops {args.ops}")
     if args.keys != 40:
@@ -74,6 +81,17 @@ def _cluster_seed_worker(item):
     seed, cfg_kwargs, selfcheck = item
     result = ClusterDstRun(seed, ClusterDstConfig(**cfg_kwargs)).run()
     again = ClusterDstRun(seed, ClusterDstConfig(**cfg_kwargs)).run() if selfcheck else None
+    return result, again
+
+
+def _serving_seed_worker(item):
+    seed, cfg_kwargs, selfcheck = item
+    result = ServingDstRun(seed, ServingDstConfig(**cfg_kwargs)).run()
+    again = (
+        ServingDstRun(seed, ServingDstConfig(**cfg_kwargs)).run()
+        if selfcheck
+        else None
+    )
     return result, again
 
 
@@ -201,6 +219,70 @@ def _run_cluster(args: argparse.Namespace, seeds: List[int]) -> int:
     return 1 if failures else 0
 
 
+def _run_serving(args: argparse.Namespace, seeds: List[int]) -> int:
+    """The --serving main loop: fleet-under-chaos resilience sweeps.
+
+    Beyond per-seed verdicts, the sweep itself fails unless *every* seed
+    injected at least one leader-affecting fault (crash or partition)
+    while tenant traffic was live — fair-weather sweeps prove nothing.
+    """
+    schedule = FaultSchedule.from_file(args.replay) if args.replay else None
+    failures = 0
+    failovers = 0
+    cfg_kwargs = {
+        "shards": args.shards,
+        "replicas": args.replicas,
+        "faults": not args.no_faults,
+        "schedule": schedule,
+    }
+    if args.keys != 40:
+        cfg_kwargs["key_count"] = args.keys
+    items = [(seed, cfg_kwargs, args.selfcheck) for seed in seeds]
+    runs = imap_points(_serving_seed_worker, items, jobs=args.jobs)
+    for seed, (result, again) in zip(seeds, runs):
+        if args.selfcheck:
+            if (
+                again.events != result.events
+                or again.verdict != result.verdict
+                or again.log_digest != result.log_digest
+            ):
+                print(f"seed={seed} NONDETERMINISTIC: reruns diverge")
+                for a, b in zip(result.events, again.events):
+                    if a != b:
+                        print(f"  first : {a}\n  second: {b}")
+                        break
+                failures += 1
+                continue
+        failovers += result.failovers
+        print(
+            f"seed={seed} {result.verdict} ops={result.ops} "
+            f"shed={result.shed} errors={result.errors} "
+            f"acked={result.writes_acked} failovers={result.failovers} "
+            f"leader_faults={result.leader_faults} "
+            f"ryw={result.ryw_violations} unresolved={result.unresolved} "
+            f"max_op={result.max_elapsed_us}us "
+            f"converged={'y' if result.converged else 'n'} "
+            f"log={result.log_digest[:8]}"
+            + (" deterministic" if args.selfcheck else "")
+        )
+        if args.log:
+            for line in result.events:
+                print(f"  {line}")
+        if args.save:
+            with open(args.save, "w", encoding="utf-8") as fh:
+                fh.write(result.schedule_json + "\n")
+            print(f"  schedule saved to {args.save}")
+        if not result.ok:
+            failures += 1
+            print(f"  reason: {result.reason}")
+            print(f"  repro: {_repro_line(args, seed)}")
+    if len(seeds) > 1:
+        print(
+            f"serving sweep: {failovers} failover(s) across {len(seeds)} seeds"
+        )
+    return 1 if failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.dst",
@@ -252,6 +334,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--nodes", type=int, default=3, help="cluster size for --cluster (default 3)"
     )
     parser.add_argument(
+        "--serving",
+        action="store_true",
+        help="serving-chaos mode: replicated shards + tenant fleet + "
+        "failover/partition/storms injected mid-traffic",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=2, help="shard groups for --serving (default 2)"
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=3,
+        help="replicas per shard group for --serving (default 3)",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=default_jobs(),
@@ -261,14 +358,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.storm and args.cluster:
-        raise SystemExit("--storm and --cluster are mutually exclusive")
+    if sum((args.storm, args.cluster, args.serving)) > 1:
+        raise SystemExit("--storm, --cluster and --serving are mutually exclusive")
     if args.storm:
         if args.replay:
             raise SystemExit("--storm generates its own schedule; --replay invalid")
         return _run_storm(args, _parse_seeds(args))
     if args.cluster:
         return _run_cluster(args, _parse_seeds(args))
+    if args.serving:
+        return _run_serving(args, _parse_seeds(args))
 
     schedule = FaultSchedule.from_file(args.replay) if args.replay else None
     failures = 0

@@ -1,0 +1,516 @@
+"""Serving DST: chaos injected *while* the tenant fleet is running.
+
+The cluster DST (:mod:`repro.dst.cluster`) proves the replication layer's
+contract for one sequential client; this harness proves the *serving*
+contract of :mod:`repro.serving.resilient` for a whole tenant fleet under
+live chaos — leader crashes, partitions, io storms and quota squeezes
+landing mid-traffic, not between runs:
+
+S1  No acked tenant write is lost: after settle, every audited key's
+    replicated value is its highest-acked write or a later indeterminate
+    attempt (:meth:`ResilientServingStack.verify_writes`).
+S2  Read-your-writes per tenant session: no read ever observes a replica
+    sequence below the session's acked-write floor.
+S3  No hangs: every started op resolves (success, shed, or typed error),
+    and no op's latency exceeds the client deadline.
+S4  Replication invariants per shard group: no cluster-layer violations,
+    prefix convergence after heal+restart, one leader per term.
+S5  Honest tails: the SLO digest splits fault-window tails from
+    steady-state tails (fault windows derived from the schedule).
+
+Every seed draws at least one *leader-affecting* fault — a leader crash
+or a partition isolating a leader — during live traffic; a schedule
+without one fails the run (guards the harness against drifting into
+fair-weather coverage).
+
+Determinism: workload, chaos, restart delays and link jitter all derive
+from the seed via named RNG substreams, so a run replays bit-identically,
+serial or under ``--jobs N``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import DBError
+from repro.faults import CRASH, PARTITION, FaultSchedule, FaultSpec
+from repro.serving.fleet import default_tenants
+from repro.serving.resilient import (
+    ResilientServingConfig,
+    ResilientServingStack,
+)
+from repro.sim.rng import RandomStream
+from repro.sim.units import ms, us
+
+#: Window charged to a point fault (crash, unwindowed spec) for tail splits.
+_POINT_FAULT_WINDOW_NS = ms(10)
+
+
+def draw_serving_chaos(
+    rng: RandomStream,
+    horizon_ns: int,
+    shards: int,
+    replicas: int,
+    max_extra: int = 3,
+) -> FaultSchedule:
+    """Draw a serving chaos schedule in global node space.
+
+    Always includes one leader-affecting fault (the initial leader of a
+    random group either crashes or is partitioned away) inside the middle
+    of the traffic window, then layers on extra cluster-style net chaos
+    and the odd device-level error storm.
+    """
+    total = shards * replicas
+    specs: List[FaultSpec] = []
+    # The guaranteed leader fault: group g's initial leader is local node
+    # 0, i.e. global node g * replicas.
+    g = rng.randint(0, shards - 1)
+    leader = g * replicas
+    at = rng.randint(horizon_ns // 4, (horizon_ns * 3) // 5)
+    if rng.chance(0.6):
+        specs.append(FaultSpec(CRASH, at_time=at, node=leader))
+    else:
+        until = at + rng.randint(horizon_ns // 10, horizon_ns // 4)
+        specs.append(
+            FaultSpec(PARTITION, at_time=at, until_time=until, nodes=(leader,))
+        )
+    extra = FaultSchedule.random_cluster(
+        rng.fork("extra"),
+        horizon_ns,
+        total,
+        max_faults=max_extra,
+        crash_p=0.3,
+    )
+    specs.extend(extra.specs)
+    storm_rng = rng.fork("storm")
+    if storm_rng.chance(0.4):
+        w0 = storm_rng.randint(horizon_ns // 5, horizon_ns // 2)
+        w1 = w0 + storm_rng.randint(horizon_ns // 10, horizon_ns // 4)
+        kind_roll = storm_rng.uniform(0.0, 1.0)
+        node = storm_rng.randint(0, total - 1)
+        if kind_roll < 0.5:
+            specs.append(
+                FaultSpec(
+                    "write_error",
+                    at_time=w0,
+                    until_time=w1,
+                    count=1_000_000,
+                    transient=True,
+                    node=node,
+                )
+            )
+        else:
+            specs.append(
+                FaultSpec(
+                    "latency_spike",
+                    at_time=w0,
+                    until_time=w1,
+                    count=1_000_000,
+                    extra_ns=storm_rng.randint(us(200), ms(2)),
+                    node=node,
+                )
+            )
+    return FaultSchedule(specs)
+
+
+def leader_fault_count(schedule: FaultSchedule, replicas: int) -> int:
+    """Leader-affecting specs: node crashes + partitions naming a node.
+
+    Every crash can force a failover (any node may be leader by then);
+    every partition can strand a leader on the minority side.  The
+    guaranteed draw targets an initial leader explicitly, so this count
+    is >= 1 for any schedule :func:`draw_serving_chaos` produces.
+    """
+    count = 0
+    for spec in schedule.specs:
+        if spec.kind == CRASH:
+            count += 1
+        elif spec.kind == PARTITION and spec.nodes:
+            count += 1
+    return count
+
+
+@dataclass
+class ServingDstConfig:
+    """Knobs of one serving DST run (the seed does the exploring)."""
+
+    shards: int = 2
+    replicas: int = 3
+    device: str = "xpoint"
+    tenants: int = 3
+    users_per_tenant: int = 40_000
+    key_count: int = 16
+    clients: int = 2
+    duration_ns: int = ms(100)
+    settle_ns: int = ms(200)
+    faults: bool = True
+    schedule: Optional[FaultSchedule] = None  # overrides random generation
+
+    @property
+    def horizon_ns(self) -> int:
+        return self.duration_ns
+
+
+@dataclass
+class ServingDstResult:
+    """Outcome of one run: verdict + the byte-comparable event log."""
+
+    seed: int
+    ok: bool
+    reason: str  # "" when ok
+    shards: int
+    replicas: int
+    tenants: int
+    ops: int  # completed (successful) tenant ops
+    shed: int
+    errors: int
+    writes_acked: int
+    failovers: int
+    leader_faults: int
+    ryw_violations: int
+    unresolved: int
+    max_elapsed_us: float
+    converged: bool
+    log_digest: str  # md5 over every group leader log's tags
+    schedule_json: str
+    tenant_rows: List[dict] = field(default_factory=list)
+    events: List[str] = field(default_factory=list)
+
+    @property
+    def verdict(self) -> str:
+        return "PASS" if self.ok else f"FAIL({self.reason})"
+
+
+class ServingDstRun:
+    """One seeded fleet/chaos/settle/verify cycle."""
+
+    def __init__(self, seed: int, config: Optional[ServingDstConfig] = None) -> None:
+        self.seed = seed
+        self.config = config or ServingDstConfig()
+        self.rng = RandomStream(seed, "serving-dst")
+        self.events: List[str] = []
+        cfg = self.config
+
+        # The ≥1-leader-fault floor only binds self-drawn schedules: a
+        # replayed/fuzzed schedule is allowed to explore fault-free or
+        # follower-only chaos without that counting as a failure.
+        self._own_schedule = cfg.schedule is None and cfg.faults
+        schedule = cfg.schedule
+        if schedule is None:
+            schedule = FaultSchedule()
+            if cfg.faults:
+                schedule = draw_serving_chaos(
+                    self.rng.fork("chaos"),
+                    cfg.horizon_ns,
+                    cfg.shards,
+                    cfg.replicas,
+                )
+        self.schedule = schedule
+
+        self.stack = ResilientServingStack(
+            ResilientServingConfig(
+                shards=cfg.shards,
+                replicas=cfg.replicas,
+                device=cfg.device,
+                seed=seed,
+            ),
+            chaos=schedule,
+        )
+        self.engine = self.stack.engine
+
+        # Crash specs become control events with seed-derived restarts, so
+        # every crashed node rejoins (and divergence truncation runs)
+        # within the settle budget.
+        restart_rng = self.rng.fork("restarts")
+        self.controls: List[Tuple[int, str, int]] = []
+        for spec in self.stack.crash_specs:
+            node = (spec.node or 0) % self.stack.config.total_nodes
+            self.controls.append((spec.at_time, "crash", node))
+            delay = restart_rng.randint(ms(2), max(ms(4), cfg.horizon_ns // 4))
+            self.controls.append((spec.at_time + delay, "restart", node))
+        # Sometimes squeeze one node's quota over a mid-run window (the
+        # space-storm dimension: ENOSPC behind the replication layer).
+        space_rng = self.rng.fork("space")
+        if cfg.faults and cfg.schedule is None and space_rng.chance(0.3):
+            node = space_rng.randint(0, self.stack.config.total_nodes - 1)
+            w0 = space_rng.randint(cfg.horizon_ns // 5, cfg.horizon_ns // 2)
+            w1 = w0 + space_rng.randint(cfg.horizon_ns // 10, cfg.horizon_ns // 4)
+            self.controls.append((w0, "squeeze", node))
+            self.controls.append((w1, "unsqueeze", node))
+        self.controls.sort()
+
+        self.stack.fault_windows = self._fault_windows()
+
+    # -- fault windows -------------------------------------------------------
+
+    def _fault_windows(self) -> List[Tuple[int, int]]:
+        windows: List[Tuple[int, int]] = []
+        for spec in self.schedule.specs:
+            if spec.at_time is None:
+                continue
+            end = (
+                spec.until_time
+                if spec.until_time is not None
+                else spec.at_time + _POINT_FAULT_WINDOW_NS
+            )
+            windows.append((spec.at_time, end))
+        for at, action, _node in self.controls:
+            if action == "crash":
+                windows.append((at, at + _POINT_FAULT_WINDOW_NS))
+            elif action == "squeeze":
+                windows.append((at, at + _POINT_FAULT_WINDOW_NS))
+        return sorted(windows)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _log(self, line: str) -> None:
+        self.events.append(f"t={self.engine.now} {line}")
+
+    def _node_fs(self, node: int):
+        cfg = self.stack.config
+        return self.stack.groups[node // cfg.replicas].cluster.nodes[
+            node % cfg.replicas
+        ].fs
+
+    def _fire(self, action: str, node: int) -> None:
+        if action == "crash":
+            self.stack.crash_global(node)
+            self._log(f"control crash node {node}")
+        elif action == "restart":
+            self.stack.restart_global(node)
+            self._log(f"control restart node {node}")
+        elif action == "squeeze":
+            fs = self._node_fs(node)
+            quota = fs.used_bytes()
+            fs.set_quota(quota)
+            self._log(f"control squeeze node {node} to {quota} bytes")
+        else:  # unsqueeze
+            self._node_fs(node).set_quota(None)
+            self._log(f"control unsqueeze node {node}")
+
+    def _step(self, procs) -> None:
+        """Drive the engine, firing control events at exact virtual times."""
+        engine = self.engine
+        i = 0
+        while True:
+            done = all(p.done for p in procs)
+            for p in procs:
+                if p.done and p.exception is not None:
+                    raise p.exception
+            due = self.controls[i][0] if i < len(self.controls) else None
+            if done and due is None:
+                return
+            nxt = engine.peek()
+            if due is not None and (nxt is None or due <= nxt):
+                if engine.now < due:
+                    engine.run(until=due)
+                _t, action, node = self.controls[i]
+                i += 1
+                self._fire(action, node)
+                continue
+            if nxt is None:
+                raise DBError("serving dst deadlocked (hung op?)")
+            engine.run(until=nxt)
+
+    def _run_gen(self, gen, name: str):
+        proc = self.engine.process(gen, name=name)
+        proc.callbacks.append(lambda _ev: None)
+        while not proc.done:
+            nxt = self.engine.peek()
+            if nxt is None:
+                raise DBError(f"serving dst: {name} deadlocked")
+            self.engine.run(until=nxt)
+        if proc.exception is not None:
+            raise proc.exception
+        return proc.value
+
+    # -- settle --------------------------------------------------------------
+
+    def _settle(self) -> bool:
+        """Heal, lift quotas, restart everyone, wait for group convergence."""
+        stack = self.stack
+        for group in stack.groups:
+            group.network.heal()
+            now = self.engine.now
+            for w in group.network._windows:
+                if w.end > now:
+                    w.end = now
+        for node in range(stack.config.total_nodes):
+            self._node_fs(node).set_quota(None)
+        for g, group in enumerate(stack.groups):
+            for node in group.cluster.nodes:
+                if not node.alive:
+                    group.cluster.restart_node(node.node_id)
+            group.cluster.elect()
+
+        def waiter():
+            deadline = self.engine.now + self.config.settle_ns
+            while self.engine.now < deadline:
+                if self._converged():
+                    return True
+                yield ms(1)
+            return self._converged()
+
+        return self._run_gen(waiter(), "settle")
+
+    def _converged(self) -> bool:
+        for group in self.stack.groups:
+            cluster = group.cluster
+            leader = cluster.leader_node
+            if leader is None:
+                return False
+            llen = len(leader.log)
+            for node in cluster.nodes:
+                if not node.active or len(node.log) != llen:
+                    return False
+        return True
+
+    def _prefix_violation(self) -> Optional[str]:
+        for g, group in enumerate(self.stack.groups):
+            leader = group.cluster.leader_node
+            ltags = [x.tag for x in leader.log]
+            for node in group.cluster.nodes:
+                tags = [x.tag for x in node.log]
+                if tags != ltags[: len(tags)]:
+                    return (
+                        f"group {g} node {node.node_id} log is not a "
+                        f"leader-log prefix"
+                    )
+        return None
+
+    # -- the run -------------------------------------------------------------
+
+    def _tenant_rows(self, workloads) -> List[dict]:
+        for wl in workloads:
+            wl.stats.duration_ns = self.config.duration_ns
+        return [wl.stats.row() for wl in workloads]
+
+    def run(self) -> ServingDstResult:
+        cfg = self.config
+        stack = self.stack
+        leader_faults = leader_fault_count(self.schedule, cfg.replicas)
+        self._log(
+            f"serving dst seed={self.seed} shards={cfg.shards} "
+            f"replicas={cfg.replicas} tenants={cfg.tenants} "
+            f"duration={cfg.duration_ns} specs={len(self.schedule)} "
+            f"controls={len(self.controls)} leader_faults={leader_faults}"
+        )
+        stack.start()
+        tenants = default_tenants(
+            cfg.tenants,
+            users_per_tenant=cfg.users_per_tenant,
+            key_count=cfg.key_count,
+            clients=cfg.clients,
+        )
+        workloads = stack.build_fleet(tenants)
+        end = self.engine.now + cfg.duration_ns
+        procs = stack.spawn_fleet(workloads, end)
+        self._step(procs)
+        total_ops = sum(wl.stats.ops for wl in workloads)
+        total_shed = sum(wl.stats.shed_ops for wl in workloads)
+        total_errors = sum(wl.stats.error_ops for wl in workloads)
+        self._log(
+            f"fleet done ops={total_ops} shed={total_shed} "
+            f"errors={total_errors} started={stack.ops_started} "
+            f"resolved={stack.ops_resolved}"
+        )
+
+        converged = self._settle()
+        for g, group in enumerate(stack.groups):
+            self.events.append(f"-- group {g} cluster --")
+            self.events.extend(group.cluster.events)
+            self.events.append(f"-- group {g} net --")
+            self.events.extend(group.network.log)
+            for r, injector in enumerate(group.injectors):
+                if injector.log:
+                    self.events.append(f"-- group {g} node {r} faults --")
+                    self.events.extend(injector.log)
+
+        reason = ""
+        if self._own_schedule and leader_faults < 1:
+            reason = "schedule drew no leader-affecting fault"
+        if not reason:
+            for g, group in enumerate(stack.groups):
+                if group.cluster.violations:
+                    reason = f"group {g} invariant: {group.cluster.violations[0]}"
+                    break
+                terms = [t for t, _n in group.cluster.term_history]
+                if len(terms) != len(set(terms)):
+                    reason = f"group {g} multiple leaders in one term"
+                    break
+        if not reason and not converged:
+            reason = "groups did not converge after heal+restart"
+        if not reason:
+            structural = self._prefix_violation()
+            if structural is not None:
+                reason = structural
+        if not reason and stack.ops_started != stack.ops_resolved:
+            reason = (
+                f"unresolved ops: {stack.ops_started - stack.ops_resolved} "
+                f"of {stack.ops_started} never resolved"
+            )
+        policy = stack.config.policy
+        if not reason and stack.max_elapsed_ns > policy.op_deadline_ns:
+            reason = (
+                f"deadline breached: an op took {stack.max_elapsed_ns}ns "
+                f"(deadline {policy.op_deadline_ns}ns)"
+            )
+        ryw = stack.ryw_violations()
+        if not reason and ryw:
+            reason = f"read-your-writes violated: {ryw[0]}"
+        if not reason:
+            losses = self._run_gen(stack.verify_writes(), "verify-writes")
+            if losses:
+                reason = f"acked write lost: {losses[0]}"
+        ok = reason == ""
+
+        digest = hashlib.md5()
+        for group in stack.groups:
+            leader = group.cluster.leader_node
+            if leader is not None:
+                for x in leader.log:
+                    digest.update(b"%d:%d;" % x.tag)
+            digest.update(b"|")
+        failovers = sum(
+            group.cluster._failovers - 1 for group in stack.groups
+        )
+        writes_acked = sum(len(v) for v in stack._acked.values())
+        self._log(
+            f"verdict={'PASS' if ok else 'FAIL'} ops={total_ops} "
+            f"acked_keys={len(stack._acked)} failovers={failovers} "
+            f"ryw={len(ryw)} max_elapsed={stack.max_elapsed_ns}"
+        )
+        stack.shutdown()
+        return ServingDstResult(
+            seed=self.seed,
+            ok=ok,
+            reason=reason,
+            shards=cfg.shards,
+            replicas=cfg.replicas,
+            tenants=cfg.tenants,
+            ops=total_ops,
+            shed=total_shed,
+            errors=total_errors,
+            writes_acked=writes_acked,
+            failovers=failovers,
+            leader_faults=leader_faults,
+            ryw_violations=len(ryw),
+            unresolved=stack.ops_started - stack.ops_resolved,
+            max_elapsed_us=round(stack.max_elapsed_ns / 1e3, 1),
+            converged=converged,
+            log_digest=digest.hexdigest(),
+            schedule_json=self.schedule.to_json(),
+            tenant_rows=self._tenant_rows(workloads),
+            events=self.events,
+        )
+
+
+__all__ = [
+    "ServingDstConfig",
+    "ServingDstResult",
+    "ServingDstRun",
+    "draw_serving_chaos",
+    "leader_fault_count",
+]

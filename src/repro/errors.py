@@ -123,3 +123,57 @@ class OptionsError(DBError):
 
 class WorkloadError(ReproError):
     """Raised for invalid workload specifications."""
+
+
+class ServingError(ReproError):
+    """Base class for serving-tier client errors (:mod:`repro.serving`).
+
+    Every failure the resilient serving client surfaces to a tenant is a
+    subclass of this — the "typed error, never a hang" half of the
+    per-op deadline contract.
+    """
+
+
+class DeadlineExceededError(ServingError):
+    """An op could not complete within its client deadline.
+
+    ``op`` is ``"get"``/``"put"``/``"scan"``; ``elapsed_ns`` is the
+    virtual time burned before giving up (always <= the deadline: the
+    client raises *at* the deadline rather than sleeping past it).
+    """
+
+    def __init__(self, message: str, op: str = "", elapsed_ns: int = 0) -> None:
+        super().__init__(message)
+        self.op = op
+        self.elapsed_ns = elapsed_ns
+
+
+class ShedError(ServingError):
+    """An op was shed before reaching storage (graceful degradation).
+
+    ``reason`` names the shedding layer: ``"brownout-write"`` (writes
+    shed while the shard group cannot reach a write quorum),
+    ``"error-budget"`` (the tenant exhausted its typed-error budget and
+    is backed off wholesale), or ``"breaker"`` (the per-shard circuit
+    breaker is open, suppressing a retry storm against a hard-down
+    shard).
+    """
+
+    def __init__(self, message: str, reason: str = "", shard: int = -1) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.shard = shard
+
+
+class ShardUnavailableError(ServingError):
+    """Every retry against a shard group failed before the deadline.
+
+    Distinct from :class:`DeadlineExceededError`: time remained, but the
+    attempt budget ran out (e.g. the group is mid-election and each
+    probe fast-fails).
+    """
+
+    def __init__(self, message: str, shard: int = -1, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.attempts = attempts

@@ -30,6 +30,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.mutate import (
     CLUSTER_MUTATION_KINDS,
     DST_MUTATION_KINDS,
+    SERVING_MUTATION_KINDS,
     STORM_MUTATION_KINDS,
     MutationContext,
     clamp_schedule,
@@ -66,6 +67,7 @@ __all__ = [
     "CRASH",
     "DEVICE_KINDS",
     "DST_MUTATION_KINDS",
+    "SERVING_MUTATION_KINDS",
     "FAULT_KINDS",
     "FS_KINDS",
     "FaultInjector",

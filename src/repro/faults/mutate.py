@@ -54,6 +54,16 @@ STORM_MUTATION_KINDS: Tuple[str, ...] = (
     WRITE_ERROR,
 )
 CLUSTER_MUTATION_KINDS: Tuple[str, ...] = tuple(sorted(NET_KINDS | {CRASH}))
+#: Serving runs layer tenant traffic over replicated shard groups, so
+#: their genome speaks both vocabularies: net chaos + node crashes (the
+#: failover axis) and the transient device-level error/latency kinds
+#: (io storms behind a replica).  Non-transient device errors are
+#: excluded for the same reason as storm mode — a fatal background error
+#: takes a replica read-only by design, which the serving harness's
+#: settle step does not (and should not) repair.
+SERVING_MUTATION_KINDS: Tuple[str, ...] = tuple(
+    sorted(NET_KINDS | {CRASH, LATENCY_SPIKE, READ_ERROR, STALL, WRITE_ERROR})
+)
 
 _MAX_COUNT = 1_000_000
 
@@ -422,6 +432,7 @@ __all__ = [
     "DST_MUTATION_KINDS",
     "MutationContext",
     "OPERATORS",
+    "SERVING_MUTATION_KINDS",
     "STORM_MUTATION_KINDS",
     "clamp_schedule",
     "clamp_spec",

@@ -33,6 +33,7 @@ from repro.fuzz.fuzzer import Crasher, FuzzConfig, FuzzReport, run_fuzz
 from repro.fuzz.genome import (
     MODE_CLUSTER,
     MODE_DST,
+    MODE_SERVING,
     MODE_STORM,
     MODES,
     Genome,
@@ -50,6 +51,7 @@ __all__ = [
     "Genome",
     "MODE_CLUSTER",
     "MODE_DST",
+    "MODE_SERVING",
     "MODE_STORM",
     "MODES",
     "Outcome",

@@ -21,12 +21,15 @@ from typing import List, Sequence
 
 from repro.dst.cluster import ClusterDstConfig
 from repro.dst.harness import DstConfig
+from repro.dst.serving import ServingDstConfig, draw_serving_chaos
 from repro.dst.storm import StormConfig, StormRun
 from repro.errors import FaultConfigError
 from repro.faults import CRASH, FaultSchedule, FaultSpec
 from repro.fuzz.genome import (
+    HORIZON_PER_OP_NS,
     MODE_CLUSTER,
     MODE_DST,
+    MODE_SERVING,
     MODE_STORM,
     MODES,
     Genome,
@@ -164,6 +167,24 @@ def bootstrap_genomes(modes: Sequence[str] = MODES) -> List[Genome]:
                     num_keys=cfg.num_keys,
                     schedule=schedule,
                     n_nodes=cfg.n_nodes,
+                )
+            )
+    if MODE_SERVING in modes:
+        for seed in (0, 1):
+            cfg = ServingDstConfig()
+            rng = RandomStream(seed, "serving-dst")
+            schedule = draw_serving_chaos(
+                rng.fork("chaos"), cfg.horizon_ns, cfg.shards, cfg.replicas
+            )
+            genomes.append(
+                Genome(
+                    MODE_SERVING,
+                    workload_seed=seed,
+                    num_ops=cfg.duration_ns // HORIZON_PER_OP_NS[MODE_SERVING],
+                    num_keys=cfg.key_count,
+                    schedule=schedule,
+                    n_nodes=cfg.replicas,
+                    shards=cfg.shards,
                 )
             )
     return genomes

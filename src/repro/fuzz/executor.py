@@ -16,8 +16,9 @@ from typing import FrozenSet, List
 
 from repro.dst.cluster import ClusterDstConfig, ClusterDstRun
 from repro.dst.harness import DstConfig, DstRun
+from repro.dst.serving import ServingDstConfig, ServingDstRun
 from repro.dst.storm import StormConfig, StormRun
-from repro.fuzz.genome import MODE_CLUSTER, MODE_DST, MODE_STORM, Genome
+from repro.fuzz.genome import MODE_CLUSTER, MODE_DST, MODE_SERVING, MODE_STORM, Genome
 from repro.obs import Tracer, set_active_tracer
 from repro.obs.vocab import log_vocabulary, normalize_log_line, trace_vocabulary
 
@@ -59,6 +60,17 @@ def build_run(genome: Genome):
                 kind=genome.storm_kind,
                 num_ops=genome.num_ops,
                 num_keys=genome.num_keys,
+                schedule=genome.schedule,
+            ),
+        )
+    if genome.mode == MODE_SERVING:
+        return ServingDstRun(
+            genome.workload_seed,
+            ServingDstConfig(
+                shards=genome.shards,
+                replicas=genome.n_nodes,
+                key_count=genome.num_keys,
+                duration_ns=genome.horizon_ns,
                 schedule=genome.schedule,
             ),
         )

@@ -20,6 +20,7 @@ from repro.faults import FaultSchedule
 from repro.faults.mutate import (
     CLUSTER_MUTATION_KINDS,
     DST_MUTATION_KINDS,
+    SERVING_MUTATION_KINDS,
     STORM_MUTATION_KINDS,
     MutationContext,
 )
@@ -28,16 +29,35 @@ from repro.sim.units import us
 MODE_DST = "dst"
 MODE_STORM = "storm"
 MODE_CLUSTER = "cluster"
-MODES: Tuple[str, ...] = (MODE_DST, MODE_STORM, MODE_CLUSTER)
+MODE_SERVING = "serving"
+MODES: Tuple[str, ...] = (MODE_DST, MODE_STORM, MODE_CLUSTER, MODE_SERVING)
 
 #: Virtual time granted per op, per mode — mirrors each harness's default
 #: (``DstConfig.horizon_per_op_ns``, ``StormConfig.pace_ns``,
-#: ``ClusterDstConfig.horizon_per_op_ns``).
-HORIZON_PER_OP_NS = {MODE_DST: us(30), MODE_STORM: us(30), MODE_CLUSTER: us(300)}
+#: ``ClusterDstConfig.horizon_per_op_ns``).  Serving mode has no op
+#: count of its own (the fleet is open-loop over a duration), so
+#: ``num_ops`` is an abstract size knob: duration = num_ops × 250us,
+#: making the 400-op genome exactly the harness's 100ms default.
+HORIZON_PER_OP_NS = {
+    MODE_DST: us(30),
+    MODE_STORM: us(30),
+    MODE_CLUSTER: us(300),
+    MODE_SERVING: us(250),
+}
 
 #: Workload-size bounds per mode (keeps mutated runs affordable).
-OPS_BOUNDS = {MODE_DST: (60, 600), MODE_STORM: (120, 800), MODE_CLUSTER: (40, 320)}
-KEYS_BOUNDS = {MODE_DST: (8, 96), MODE_STORM: (8, 96), MODE_CLUSTER: (8, 48)}
+OPS_BOUNDS = {
+    MODE_DST: (60, 600),
+    MODE_STORM: (120, 800),
+    MODE_CLUSTER: (40, 320),
+    MODE_SERVING: (120, 400),
+}
+KEYS_BOUNDS = {
+    MODE_DST: (8, 96),
+    MODE_STORM: (8, 96),
+    MODE_CLUSTER: (8, 48),
+    MODE_SERVING: (8, 32),
+}
 
 #: Storm window fractions (matches ``StormConfig`` defaults): storm-mode
 #: schedule triggers are clamped into this window so mutations explore
@@ -58,8 +78,9 @@ class Genome:
     num_ops: int
     num_keys: int
     schedule: FaultSchedule = field(default_factory=FaultSchedule)
-    n_nodes: int = 0  # cluster mode only
+    n_nodes: int = 0  # cluster: cluster size; serving: replicas per shard
     storm_kind: str = ""  # storm mode only; always resolved (never "auto")
+    shards: int = 0  # serving mode only
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -77,8 +98,17 @@ class Genome:
         if self.mode == MODE_CLUSTER:
             if self.n_nodes < 2:
                 raise FaultConfigError("cluster genomes need n_nodes >= 2")
+        elif self.mode == MODE_SERVING:
+            if self.n_nodes < 2:
+                raise FaultConfigError("serving genomes need n_nodes (replicas) >= 2")
+            if self.shards < 1:
+                raise FaultConfigError("serving genomes need shards >= 1")
         elif self.n_nodes:
-            raise FaultConfigError(f"n_nodes is cluster-only, not {self.mode}")
+            raise FaultConfigError(
+                f"n_nodes is cluster/serving-only, not {self.mode}"
+            )
+        if self.mode != MODE_SERVING and self.shards:
+            raise FaultConfigError(f"shards is serving-only, not {self.mode}")
         if self.mode == MODE_STORM:
             if self.storm_kind not in STORM_KINDS:
                 raise FaultConfigError(
@@ -108,6 +138,15 @@ class Genome:
                 kinds=CLUSTER_MUTATION_KINDS,
                 n_nodes=self.n_nodes,
             )
+        if self.mode == MODE_SERVING:
+            # Serving chaos addresses the *global* node space: node
+            # g*replicas+r of shard group g.
+            return MutationContext(
+                horizon_ns=self.horizon_ns,
+                kinds=SERVING_MUTATION_KINDS,
+                n_nodes=self.shards * self.n_nodes,
+                transient_only=True,
+            )
         return MutationContext(horizon_ns=self.horizon_ns, kinds=DST_MUTATION_KINDS)
 
     def with_schedule(self, schedule: FaultSchedule) -> "Genome":
@@ -124,8 +163,10 @@ class Genome:
             "num_ops": self.num_ops,
             "num_keys": self.num_keys,
         }
-        if self.mode == MODE_CLUSTER:
+        if self.mode in (MODE_CLUSTER, MODE_SERVING):
             head["n_nodes"] = self.n_nodes
+        if self.mode == MODE_SERVING:
+            head["shards"] = self.shards
         if self.mode == MODE_STORM:
             head["storm_kind"] = self.storm_kind
         head["schedule"] = json.loads(self.schedule.to_json())
@@ -147,6 +188,7 @@ class Genome:
                 schedule=schedule,
                 n_nodes=data.get("n_nodes", 0),
                 storm_kind=data.get("storm_kind", ""),
+                shards=data.get("shards", 0),
             )
         except KeyError as exc:
             raise FaultConfigError(f"genome missing field {exc}") from exc
@@ -168,6 +210,7 @@ __all__ = [
     "KEYS_BOUNDS",
     "MODE_CLUSTER",
     "MODE_DST",
+    "MODE_SERVING",
     "MODE_STORM",
     "MODES",
     "OPS_BOUNDS",

@@ -14,9 +14,13 @@ from repro.matrix.registry import (
     MATRIX_PRESET,
     MATRIX_SEED,
     SCENARIOS,
+    SERVING_SCENARIOS,
     TABLES,
     CellSpec,
     FaultScenario,
+    ServingCellSpec,
+    ServingScenario,
+    ServingTableSpec,
     TableSpec,
     table_by_id,
 )
@@ -27,7 +31,13 @@ from repro.matrix.render import (
     inject_block,
     render_table,
 )
-from repro.matrix.runner import CELL_METRICS, run_cell, run_cells
+from repro.matrix.runner import (
+    CELL_METRICS,
+    SERVING_CELL_METRICS,
+    run_cell,
+    run_cells,
+    run_serving_cell,
+)
 
 __all__ = [
     "CELL_METRICS",
@@ -37,6 +47,11 @@ __all__ = [
     "MATRIX_PRESET",
     "MATRIX_SEED",
     "SCENARIOS",
+    "SERVING_CELL_METRICS",
+    "SERVING_SCENARIOS",
+    "ServingCellSpec",
+    "ServingScenario",
+    "ServingTableSpec",
     "TABLES",
     "TableSpec",
     "begin_marker",
@@ -46,5 +61,6 @@ __all__ = [
     "render_table",
     "run_cell",
     "run_cells",
+    "run_serving_cell",
     "table_by_id",
 ]

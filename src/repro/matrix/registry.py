@@ -16,15 +16,27 @@ Tables registered here:
   ``rmw``), fault-free.
 * ``fault-grid`` — the same devices under workload A while the device
   path degrades: clean, a latency-spike storm, and a stall window.
+* ``serving-failover`` — the replicated serving tier's tenant SLOs on
+  each device while a shard group's leader crashes or is partitioned
+  away mid-traffic (cells run through the
+  :class:`~repro.dst.ServingDstRun` harness, so every cell also enforces
+  the no-loss / read-your-writes / no-hang invariants).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.errors import WorkloadError
-from repro.faults import LATENCY_SPIKE, STALL, FaultSchedule, FaultSpec
+from repro.faults import (
+    CRASH,
+    LATENCY_SPIKE,
+    PARTITION,
+    STALL,
+    FaultSchedule,
+    FaultSpec,
+)
 from repro.harness.presets import TINY, ScalePreset
 from repro.sim.units import ms, seconds, us
 from repro.workloads.ycsb import MATRIX_WORKLOADS
@@ -124,6 +136,77 @@ SCENARIOS: Dict[str, FaultScenario] = {
 
 
 @dataclass(frozen=True)
+class ServingScenario:
+    """One failover scenario for the resilient serving tier.
+
+    ``kind`` names what happens to shard group 0's initial leader
+    (global node 0): nothing (``steady``), a crash (``leader-crash``) or
+    a partition isolating it (``leader-partition``).  ``window`` is a
+    fraction pair of the cell's duration — a crash fires at the window
+    start (the harness draws the deterministic restart), a partition
+    spans the window.
+    """
+
+    name: str
+    label: str
+    kind: str = "steady"
+    window: Tuple[float, float] = (0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("steady", "leader-crash", "leader-partition"):
+            raise WorkloadError(
+                f"serving scenario {self.name!r}: kind must be "
+                f"steady/leader-crash/leader-partition, got {self.kind!r}"
+            )
+        lo, hi = self.window
+        if self.kind != "steady" and not 0.0 <= lo < hi <= 1.0:
+            raise WorkloadError(
+                f"serving scenario {self.name!r}: window {self.window} is "
+                "not a fraction interval"
+            )
+
+    def schedule(self, duration_ns: int) -> Optional[FaultSchedule]:
+        """The explicit chaos schedule for one cell, ``None`` for steady."""
+        if self.kind == "steady":
+            return None
+        lo, hi = self.window
+        if self.kind == "leader-crash":
+            return FaultSchedule(
+                [FaultSpec(CRASH, at_time=int(duration_ns * lo), node=0)]
+            )
+        return FaultSchedule(
+            [
+                FaultSpec(
+                    PARTITION,
+                    at_time=int(duration_ns * lo),
+                    until_time=int(duration_ns * hi),
+                    nodes=(0,),
+                )
+            ]
+        )
+
+
+SERVING_STEADY = ServingScenario("steady", "steady state")
+SERVING_LEADER_CRASH = ServingScenario(
+    "leader-crash",
+    "leader crash (at 40 %)",
+    kind="leader-crash",
+    window=(0.40, 1.0),
+)
+SERVING_LEADER_PARTITION = ServingScenario(
+    "leader-partition",
+    "leader partitioned (30–60 %)",
+    kind="leader-partition",
+    window=(0.30, 0.60),
+)
+
+SERVING_SCENARIOS: Dict[str, ServingScenario] = {
+    s.name: s
+    for s in (SERVING_STEADY, SERVING_LEADER_CRASH, SERVING_LEADER_PARTITION)
+}
+
+
+@dataclass(frozen=True)
 class CellSpec:
     """One grid point, resolvable by workers from the registry alone."""
 
@@ -181,6 +264,40 @@ class TableSpec:
         return tuple(out)
 
 
+@dataclass(frozen=True)
+class ServingCellSpec:
+    """One serving-tier grid point: a device under one failover scenario."""
+
+    table_id: str
+    device: str
+    scenario: str
+
+    def __post_init__(self) -> None:
+        if self.scenario not in SERVING_SCENARIOS:
+            raise WorkloadError(
+                f"unknown serving scenario {self.scenario!r} "
+                f"(choose from {sorted(SERVING_SCENARIOS)})"
+            )
+
+
+@dataclass(frozen=True)
+class ServingTableSpec:
+    """A serving-tier table: failover-scenario rows × device columns."""
+
+    table_id: str
+    title: str
+    devices: Tuple[str, ...]
+    scenarios: Tuple[str, ...]
+
+    def cells(self) -> Tuple[ServingCellSpec, ...]:
+        """Row-major cell order — also the execution and merge order."""
+        return tuple(
+            ServingCellSpec(self.table_id, device, scenario)
+            for scenario in self.scenarios
+            for device in self.devices
+        )
+
+
 YCSB_DEVICES = TableSpec(
     table_id="ycsb-devices",
     title="YCSB core + extended mixes across the paper's device classes",
@@ -199,8 +316,15 @@ FAULT_GRID = TableSpec(
     rows="scenario",
 )
 
+SERVING_FAILOVER = ServingTableSpec(
+    table_id="serving-failover",
+    title="Resilient serving tier: tenant SLOs across failover scenarios",
+    devices=DEVICES,
+    scenarios=("steady", "leader-crash", "leader-partition"),
+)
+
 TABLES: Dict[str, TableSpec] = {
-    t.table_id: t for t in (YCSB_DEVICES, FAULT_GRID)
+    t.table_id: t for t in (YCSB_DEVICES, FAULT_GRID, SERVING_FAILOVER)
 }
 
 

@@ -13,7 +13,14 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.errors import WorkloadError
-from repro.matrix.registry import SCENARIOS, CellSpec, TableSpec
+from repro.matrix.registry import (
+    SCENARIOS,
+    SERVING_SCENARIOS,
+    CellSpec,
+    ServingCellSpec,
+    ServingTableSpec,
+    TableSpec,
+)
 
 
 def begin_marker(table_id: str) -> str:
@@ -31,6 +38,40 @@ def _fmt(value: float) -> str:
     return f"{value:.1f}"
 
 
+def _render_serving_table(
+    table: ServingTableSpec,
+    cells: Sequence[ServingCellSpec],
+    results: Sequence[Dict[str, float]],
+) -> str:
+    by_cell = {c: r for c, r in zip(cells, results)}
+    lines: List[str] = [begin_marker(table.table_id)]
+    lines.append(f"**{table.title}** (`{table.table_id}`)")
+    lines.append("")
+    head = ["Scenario"]
+    for device in table.devices:
+        head += [
+            f"{device} kops",
+            f"{device} worst p99 µs",
+            f"{device} SLO",
+            f"{device} shed",
+        ]
+    lines.append("| " + " | ".join(head) + " |")
+    lines.append("|" + "---|" * len(head))
+    for scenario in table.scenarios:
+        row = [SERVING_SCENARIOS[scenario].label]
+        for device in table.devices:
+            r = by_cell[ServingCellSpec(table.table_id, device, scenario)]
+            row += [
+                _fmt(r["kops"]),
+                _fmt(r["p99_us"]),
+                f"{int(r['slo_met'])}/{int(r['tenants'])}",
+                _fmt(r["shed"]),
+            ]
+        lines.append("| " + " | ".join(row) + " |")
+    lines.append(end_marker(table.table_id))
+    return "\n".join(lines)
+
+
 def render_table(
     table: TableSpec,
     cells: Sequence[CellSpec],
@@ -41,6 +82,8 @@ def render_table(
         raise WorkloadError(
             f"{table.table_id}: {len(cells)} cells but {len(results)} results"
         )
+    if isinstance(table, ServingTableSpec):
+        return _render_serving_table(table, cells, results)
     by_cell = {c: r for c, r in zip(cells, results)}
 
     lines: List[str] = [begin_marker(table.table_id)]

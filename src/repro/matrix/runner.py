@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
+from repro.dst.serving import ServingDstConfig, ServingDstRun
+from repro.errors import WorkloadError
 from repro.faults.device import FaultyDevice
 from repro.faults.injector import FaultInjector
 from repro.fs.filesystem import SimFileSystem
@@ -24,6 +26,8 @@ from repro.matrix.registry import (
     MATRIX_SEED,
     CellSpec,
     SCENARIOS,
+    SERVING_SCENARIOS,
+    ServingCellSpec,
 )
 from repro.perf.parallel import map_points
 from repro.sim.engine import Engine
@@ -35,9 +39,59 @@ from repro.workloads.ycsb import MATRIX_WORKLOADS, YcsbRunner
 #: The metric keys every cell reports, in render order.
 CELL_METRICS = ("kops", "p50_us", "p99_us", "faults")
 
+#: The metric keys every serving-tier cell reports.
+SERVING_CELL_METRICS = (
+    "kops",
+    "p99_us",
+    "slo_met",
+    "tenants",
+    "shed",
+    "failovers",
+)
 
-def run_cell(cell: CellSpec) -> Dict[str, float]:
+
+def run_serving_cell(cell: ServingCellSpec) -> Dict[str, float]:
+    """Execute one serving-tier cell through the chaos DST harness.
+
+    The harness's verdict is part of the contract: a cell whose run
+    loses an acked write, violates read-your-writes or leaves an op
+    hanging fails the whole table regeneration rather than rendering
+    a bad number.
+    """
+    scenario = SERVING_SCENARIOS[cell.scenario]
+    duration_ns = ServingDstConfig().duration_ns
+    schedule = scenario.schedule(duration_ns)
+    result = ServingDstRun(
+        MATRIX_SEED,
+        ServingDstConfig(
+            device=cell.device,
+            schedule=schedule,
+            faults=schedule is not None,
+        ),
+    ).run()
+    if not result.ok:
+        raise WorkloadError(
+            f"serving cell {cell.device}/{cell.scenario} failed the DST "
+            f"contract: {result.reason}"
+        )
+    rows = result.tenant_rows
+    active = [r for r in rows if int(r["ops"]) > 0]
+    met = sum(1 for r in active if r["p99_us"] <= r["slo_p99_us"])
+    worst = max((float(r["p99_us"]) for r in active), default=0.0)
+    return {
+        "kops": round(sum(float(r["kops"]) for r in rows), 2),
+        "p99_us": round(worst, 1),
+        "slo_met": float(met),
+        "tenants": float(len(active)),
+        "shed": float(result.shed),
+        "failovers": float(result.failovers),
+    }
+
+
+def run_cell(cell) -> Dict[str, float]:
     """Execute one grid cell in a fresh universe; the worker function."""
+    if isinstance(cell, ServingCellSpec):
+        return run_serving_cell(cell)
     preset = MATRIX_PRESET
     scenario = SCENARIOS[cell.scenario]
     schedule = scenario.schedule(preset.duration_ns)

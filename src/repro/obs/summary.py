@@ -112,6 +112,14 @@ def tenant_slo_digest(rows, top_n: Optional[int] = None) -> str:
     are ranked worst-first by SLO violation fraction so the digest leads
     with the tenants in trouble — the serving twin of
     :func:`stall_episodes`' "longest stalls first" ordering.
+
+    Resilient-serving rows may carry extra keys (``shed``, ``errors``,
+    ``fault_ops``, ``fault_p99_us``, ``steady_p99_us``); these print only
+    when nonzero, so zero-fault digests are byte-identical to the legacy
+    format.  A tenant with zero completed ops (e.g. fully shed during a
+    brownout) does not vanish and cannot divide by zero: it is excluded
+    from the SLO headline (no completed op to judge) and rendered with an
+    explicit shed/error line instead.
     """
     if not rows:
         return "tenant-slo digest: no tenants recorded"
@@ -121,20 +129,39 @@ def tenant_slo_digest(rows, top_n: Optional[int] = None) -> str:
     )
     if top_n is not None:
         ranked = ranked[:top_n]
+    active = [r for r in rows if int(r["ops"]) > 0]
     met = sum(
-        1 for r in rows if float(r["p99_us"]) <= float(r["slo_p99_us"])
+        1 for r in active if float(r["p99_us"]) <= float(r["slo_p99_us"])
     )
-    lines = [
-        f"tenant-slo digest: {met}/{len(rows)} tenants meeting p99 SLO"
-    ]
+    header = f"tenant-slo digest: {met}/{len(active)} tenants meeting p99 SLO"
+    starved = len(rows) - len(active)
+    if starved:
+        header += f" ({starved} with no completed ops)"
+    lines = [header]
     for r in ranked:
+        shed = int(r.get("shed", 0) or 0)
+        errors = int(r.get("errors", 0) or 0)
+        if int(r["ops"]) == 0:
+            lines.append(
+                f"  {r['tenant']}: no completed ops | "
+                f"shed {shed} | errors {errors}"
+            )
+            continue
         verdict = "ok" if float(r["p99_us"]) <= float(r["slo_p99_us"]) else "MISS"
-        lines.append(
+        line = (
             f"  {r['tenant']}: p99 {r['p99_us']}us vs SLO {r['slo_p99_us']}us "
             f"[{verdict}] | {r['ops']} ops ({r['kops']} kops) | "
             f"{float(r['slo_violation_frac']):.2%} over-SLO | "
             f"{float(r['throttled_frac']):.2%} throttled"
         )
+        if shed or errors:
+            line += f" | shed {shed} | errors {errors}"
+        if int(r.get("fault_ops", 0) or 0) > 0:
+            line += (
+                f" | fault-window p99 {r['fault_p99_us']}us "
+                f"vs steady {r['steady_p99_us']}us"
+            )
+        lines.append(line)
     return "\n".join(lines)
 
 

@@ -15,16 +15,42 @@ contention) into an architecture:
   keys with migration, diurnal curves, per-tenant SLO accounting);
 * :mod:`~repro.serving.sweep` — ``--jobs``-parallel tenant-scale sweeps,
   bit-identical across job counts;
-* ``python -m repro.serving`` — the CLI entry point.
+* :mod:`~repro.serving.resilient` — the replicated tier: every shard is a
+  :class:`~repro.cluster.Cluster` group behind a retrying/hedging
+  :class:`~repro.serving.client.ShardClient` with
+  :class:`~repro.serving.admission.BrownoutAdmission` degradation
+  (chaos-tested by ``python -m repro.dst --serving``);
+* ``python -m repro.serving`` — the CLI entry point (``--resilient`` runs
+  the replicated tier).
 """
 
-from repro.serving.admission import AdmissionController, TenantBudget, TokenBucket
+from repro.serving.admission import (
+    AdmissionController,
+    BrownoutAdmission,
+    ErrorBudget,
+    ErrorBudgetSpec,
+    TenantBudget,
+    TokenBucket,
+)
+from repro.serving.client import (
+    ClientPolicy,
+    ClientSession,
+    ReadOutcome,
+    ShardBreaker,
+    ShardClient,
+)
 from repro.serving.fleet import (
     TenantSpec,
     TenantStats,
     TenantWorkload,
     default_tenants,
     tenant_key,
+)
+from repro.serving.resilient import (
+    ResilientServingConfig,
+    ResilientServingResult,
+    ResilientServingStack,
+    ShardGroup,
 )
 from repro.serving.router import HashRing
 from repro.serving.shardfs import ShardFsView
@@ -38,12 +64,24 @@ from repro.serving.sweep import (
 
 __all__ = [
     "AdmissionController",
+    "BrownoutAdmission",
+    "ClientPolicy",
+    "ClientSession",
+    "ErrorBudget",
+    "ErrorBudgetSpec",
     "HashRing",
+    "ReadOutcome",
+    "ResilientServingConfig",
+    "ResilientServingResult",
+    "ResilientServingStack",
     "ServingConfig",
     "ServingPoint",
     "ServingResult",
     "ServingStack",
+    "ShardBreaker",
+    "ShardClient",
     "ShardFsView",
+    "ShardGroup",
     "SweepReport",
     "TenantBudget",
     "TenantSpec",

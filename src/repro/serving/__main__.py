@@ -6,12 +6,20 @@ Usage::
     python -m repro.serving --shards 4 --tenants 8
     python -m repro.serving --shard-sweep 1,2,4 --jobs 4
     python -m repro.serving --device sata-flash --duration 1.0
+    python -m repro.serving --resilient --replicas 3   # replicated tier
 
 Every invocation prints, per sweep point, the per-tenant SLO digest
 (through :func:`repro.obs.tenant_slo_digest`), per-shard engine counters
 and the shared cache / write-buffer budget report, followed by a
 shard-scaling table when more than one point ran.  Output is bit-identical
 for any ``--jobs`` value.
+
+``--resilient`` runs the replicated tier instead: each shard is a
+leader/follower :class:`~repro.cluster.Cluster` group served through the
+retrying/hedging client layer, and the report adds client-layer counters
+(retries, hedges, sheds, deadline misses).  Fault injection for that tier
+lives in ``python -m repro.dst --serving``; this entry point runs it
+fault-free as a steady-state reference.
 """
 
 from __future__ import annotations
@@ -21,6 +29,54 @@ import argparse
 from repro.perf.parallel import default_jobs
 from repro.serving.sweep import ServingPoint, run_sweep
 from repro.storage.profiles import PROFILES
+
+
+def _run_resilient(args) -> int:
+    from repro.serving.fleet import default_tenants
+    from repro.serving.resilient import (
+        ResilientServingConfig,
+        ResilientServingStack,
+    )
+
+    cfg = ResilientServingConfig(
+        shards=args.shards,
+        replicas=args.replicas,
+        device=args.device,
+        seed=args.seed,
+    )
+    stack = ResilientServingStack(cfg)
+    stack.start()
+    tenants = default_tenants(
+        args.tenants,
+        users_per_tenant=args.users,
+        key_count=args.keys,
+        clients=args.clients,
+    )
+    workloads = stack.build_fleet(tenants)
+    prefill = stack.engine.process(stack.prefill(workloads), name="prefill")
+    prefill.callbacks.append(lambda _ev: None)
+    while not prefill.done:
+        nxt = stack.engine.peek()
+        if nxt is None:
+            raise RuntimeError("prefill deadlocked")
+        stack.engine.run(until=nxt)
+    if prefill.exception is not None:
+        raise prefill.exception
+    duration_ns = int(args.duration * 1e9)
+    end = stack.engine.now + duration_ns
+    procs = stack.spawn_fleet(workloads, end)
+    while not all(p.done for p in procs):
+        nxt = stack.engine.peek()
+        if nxt is None:
+            raise RuntimeError("fleet deadlocked")
+        stack.engine.run(until=nxt)
+    for proc in procs:
+        if proc.exception is not None:
+            raise proc.exception
+    result = stack.collect(workloads, duration_ns)
+    stack.shutdown()
+    print(result.render())
+    return 0
 
 
 def _parse_sweep(raw: str) -> list:
@@ -45,6 +101,18 @@ def main(argv=None) -> int:
         choices=sorted(k for k in PROFILES if k not in ("null", "nvm")),
     )
     parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument(
+        "--resilient",
+        action="store_true",
+        help="run the replicated tier (shard groups behind the "
+        "retry/hedge client layer) instead of the single-node stack",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=3,
+        help="replicas per shard group (only with --resilient)",
+    )
     parser.add_argument(
         "--shard-sweep",
         type=_parse_sweep,
@@ -76,6 +144,10 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.shards < 1 or args.tenants < 1:
         parser.error("--shards and --tenants must be >= 1")
+    if args.resilient:
+        if args.shard_sweep:
+            parser.error("--resilient runs a single point, not --shard-sweep")
+        return _run_resilient(args)
 
     shard_counts = args.shard_sweep or [args.shards]
     points = [

@@ -27,12 +27,12 @@ admission:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.errors import WorkloadError
+from repro.errors import ShedError, WorkloadError
 from repro.lsm.write_controller import DELAYED, STOPPED, WriteController
 from repro.sim.stats import StatsSet
-from repro.sim.units import SEC
+from repro.sim.units import SEC, ms
 
 #: Fraction of the provisioned rate still admitted while a shard is STOPPED.
 STOP_FACTOR = 0.05
@@ -126,3 +126,102 @@ class AdmissionController:
             self.stats.inc(f"throttled.{tenant}", n)
             self.stats.inc(f"throttle_ns.{tenant}", delay)
         return delay
+
+
+@dataclass(frozen=True)
+class ErrorBudgetSpec:
+    """Per-tenant rolling error budget: at most ``max_errors`` typed
+    serving errors inside any ``window_ns`` window before the tenant is
+    backed off wholesale (every op shed until the window drains)."""
+
+    window_ns: int = ms(50)
+    max_errors: int = 24
+
+    def __post_init__(self) -> None:
+        if self.window_ns <= 0 or self.max_errors < 1:
+            raise WorkloadError("error budget window/count must be positive")
+
+
+class ErrorBudget:
+    """Rolling window of one tenant's typed-error timestamps."""
+
+    def __init__(self, spec: ErrorBudgetSpec) -> None:
+        self.spec = spec
+        self._errors: List[int] = []
+
+    def record(self, now: int) -> None:
+        self._errors.append(now)
+
+    def exhausted(self, now: int) -> bool:
+        cutoff = now - self.spec.window_ns
+        self._errors = [t for t in self._errors if t > cutoff]
+        return len(self._errors) >= self.spec.max_errors
+
+
+class BrownoutAdmission(AdmissionController):
+    """Admission with graceful degradation for the resilient stack.
+
+    Beyond the base token buckets and engine backpressure, this front
+    door sheds load *before* it reaches a struggling shard group:
+
+    * **brownout (shed writes before reads)** — while a shard group
+      cannot reach a write quorum (partitioned, mid-election, majority
+      crashed), writes routed at it are shed with
+      :class:`~repro.errors.ShedError` ``reason="brownout-write"``;
+      reads still pass, because the client layer can hedge them to
+      caught-up followers;
+    * **per-tenant error budgets** — each typed serving error a tenant
+      observes spends budget; a tenant over its rolling budget has
+      *every* op shed (``reason="error-budget"``) until the window
+      drains, converting a retry-amplified failure into calibrated
+      back-off.
+
+    Shard write controllers come from ``controller_source`` (a callable)
+    rather than a frozen list, because which node's write controller
+    matters changes on failover.
+    """
+
+    def __init__(
+        self,
+        controller_source: Callable[[], Sequence[WriteController]],
+        groups: Sequence[object],
+        budgets: Optional[Dict[str, TenantBudget]] = None,
+        error_budget: Optional[ErrorBudgetSpec] = None,
+    ) -> None:
+        super().__init__([], budgets)
+        self._controller_source = controller_source
+        self.groups = list(groups)  # each exposes write_quorum_reachable()
+        self.error_budget_spec = error_budget or ErrorBudgetSpec()
+        self._error_budgets: Dict[str, ErrorBudget] = {}
+
+    def pressure(self) -> float:
+        self.controllers = list(self._controller_source())
+        return super().pressure()
+
+    def record_error(self, tenant: str, now: int) -> None:
+        """Charge one typed serving error against ``tenant``'s budget."""
+        budget = self._error_budgets.get(tenant)
+        if budget is None:
+            budget = self._error_budgets[tenant] = ErrorBudget(
+                self.error_budget_spec
+            )
+        budget.record(now)
+        self.stats.inc(f"errors.{tenant}")
+
+    def check(self, tenant: str, shard: int, is_write: bool, now: int) -> None:
+        """Shed gate, consulted before the bucket; raises ShedError."""
+        budget = self._error_budgets.get(tenant)
+        if budget is not None and budget.exhausted(now):
+            self.stats.inc(f"shed_budget.{tenant}")
+            raise ShedError(
+                f"tenant {tenant} over its error budget",
+                reason="error-budget",
+                shard=shard,
+            )
+        if is_write and not self.groups[shard].write_quorum_reachable():
+            self.stats.inc(f"shed_brownout.{tenant}")
+            raise ShedError(
+                f"shard {shard} has no write quorum; write shed",
+                reason="brownout-write",
+                shard=shard,
+            )

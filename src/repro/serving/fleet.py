@@ -31,7 +31,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.errors import WorkloadError
+from repro.errors import ServingError, ShedError, WorkloadError
 from repro.sim.rng import RandomStream
 from repro.sim.stats import LatencyHistogram
 from repro.sim.units import SEC, ms, seconds
@@ -125,17 +125,40 @@ class TenantStats:
     throttled_ops: int = 0
     throttle_ns: int = 0
     duration_ns: int = 0
+    # Resilient-serving accounting (all zero on the zero-fault path).
+    shed_ops: int = 0
+    shed_reasons: Dict[str, int] = field(default_factory=dict)
+    error_ops: int = 0
+    error_kinds: Dict[str, int] = field(default_factory=dict)
+    fault_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    steady_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    fault_ops: int = 0
 
-    def record(self, op: str, latency_ns: int) -> None:
+    def record(self, op: str, latency_ns: int, in_fault_window: bool = False) -> None:
         self.ops += 1
         self.op_counts[op] = self.op_counts.get(op, 0) + 1
         self.latency.record(latency_ns)
+        if in_fault_window:
+            self.fault_ops += 1
+            self.fault_latency.record(latency_ns)
+        else:
+            self.steady_latency.record(latency_ns)
         if op == OP_READ or op == OP_SCAN:
             self.read_latency.record(latency_ns)
         else:
             self.write_latency.record(latency_ns)
         if latency_ns > self.spec.slo_p99_ns:
             self.slo_violations += 1
+
+    def record_shed(self, reason: str) -> None:
+        """An op shed before reaching storage (brownout / budget / breaker)."""
+        self.shed_ops += 1
+        self.shed_reasons[reason] = self.shed_reasons.get(reason, 0) + 1
+
+    def record_error(self, kind: str) -> None:
+        """An op that resolved as a typed serving error within its deadline."""
+        self.error_ops += 1
+        self.error_kinds[kind] = self.error_kinds.get(kind, 0) + 1
 
     @property
     def kops(self) -> float:
@@ -156,6 +179,13 @@ class TenantStats:
             "slo_p99_us": round(self.spec.slo_p99_ns / 1e3, 1),
             "slo_violation_frac": round(self.slo_violations / ops, 4),
             "throttled_frac": round(self.throttled_ops / ops, 4),
+            # Zero on the zero-fault path; the digest only prints them
+            # when nonzero, keeping legacy output byte-identical.
+            "shed": self.shed_ops,
+            "errors": self.error_ops,
+            "fault_ops": self.fault_ops,
+            "fault_p99_us": round(self.fault_latency.percentile(99) / 1e3, 1),
+            "steady_p99_us": round(self.steady_latency.percentile(99) / 1e3, 1),
         }
 
 
@@ -260,6 +290,78 @@ class TenantWorkload:
                     tenant_key(self.index, index), values.value_for(index, 2)
                 )
             self.stats.record(op, engine.now - began)
+
+    def resilient_client(self, engine, stack, cid: int, end: int):
+        """Generator: one closed-loop client against a *resilient* stack.
+
+        Same arrival process and op mix as :meth:`client`, but ops go
+        through the replicated-shard client layer: every op either
+        succeeds, is shed up front (:class:`~repro.errors.ShedError`
+        from the brownout gate, counted per reason), or resolves as a
+        typed :class:`~repro.errors.ServingError` within its deadline
+        (counted per kind and charged to the tenant's error budget).
+        Latencies are split into fault-window vs steady-state tails.
+        """
+        spec = self.spec
+        rng = RandomStream(self.seed, f"fleet/{spec.name}/{cid}")
+        per_client_rate = spec.aggregate_rate / spec.clients
+        session = stack.session(spec.name, cid)
+        while engine.now < end:
+            rate = per_client_rate * spec.rate_multiplier(engine.now)
+            think = round(rng.expovariate(rate) * SEC)
+            if think:
+                yield think
+            if engine.now >= end:
+                break
+            delay = stack.admission.admit(spec.name, engine.now)
+            if delay:
+                self.stats.throttled_ops += 1
+                self.stats.throttle_ns += delay
+                yield delay
+            op = spec.mix.pick_op(rng)
+            began = engine.now
+            # Pick the op's key up front so the shed gate knows its shard.
+            if op == OP_INSERT:
+                key = tenant_key(self.index, self.insert_index())
+            else:
+                key = self.pick_key(rng, began)
+            is_write = op not in (OP_READ, OP_SCAN)
+            try:
+                stack.admission.check(
+                    spec.name, stack.shard_of(key), is_write, began
+                )
+            except ShedError as exc:
+                self.stats.record_shed(exc.reason)
+                continue
+            in_fault = stack.in_fault_window(began)
+            try:
+                if op == OP_READ:
+                    yield from stack.get(session, key)
+                elif op == OP_SCAN:
+                    length = rng.randint(1, spec.mix.max_scan_len)
+                    start_idx = self.pick_index(rng, began)
+                    yield from stack.scan(
+                        session,
+                        tenant_key(self.index, start_idx),
+                        tenant_key(
+                            self.index, min(start_idx + length, 10**15 - 1)
+                        ),
+                        limit=length,
+                    )
+                elif op == OP_RMW:
+                    yield from stack.get(session, key)
+                    yield from stack.put(session, key)
+                else:  # update / insert
+                    yield from stack.put(session, key)
+            except ShedError as exc:
+                # Breaker fast-fail inside the client layer.
+                self.stats.record_shed(exc.reason)
+                stack.admission.record_error(spec.name, engine.now)
+            except ServingError as exc:
+                self.stats.record_error(type(exc).__name__)
+                stack.admission.record_error(spec.name, engine.now)
+            else:
+                self.stats.record(op, engine.now - began, in_fault)
 
 
 def default_tenants(

@@ -9,7 +9,13 @@ matter here:
   and across hosts;
 * **stability** — growing the ring from N to N+1 shards remaps roughly
   ``1/(N+1)`` of the keys, so a scale-out experiment measures data
-  movement, not a full reshuffle (plain ``hash % N`` would remap ~all keys).
+  movement, not a full reshuffle (plain ``hash % N`` would remap ~all keys);
+* **remove/re-add symmetry** — a shard's vnode positions derive only from
+  its name (``shard-i#v``), never from membership or insertion order, so
+  :meth:`remove_node` followed by :meth:`add_node` restores the exact
+  key→shard mapping the ring had before the removal.  Failover handling
+  leans on this: routing away from a down shard group and back is an
+  involution, not a reshuffle.
 """
 
 from __future__ import annotations
@@ -35,13 +41,47 @@ class HashRing:
             raise WorkloadError(f"need at least one vnode per shard: {vnodes}")
         self.shards = shards
         self.vnodes = vnodes
+        self._members = set(range(shards))
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        """Recompute ring points from the current membership.
+
+        Point positions depend only on ``(shard, vnode)`` names, so the
+        same membership set always yields the same sorted point list no
+        matter what add/remove history produced it.
+        """
         points: List[Tuple[int, int]] = []
-        for shard in range(shards):
-            for v in range(vnodes):
+        for shard in sorted(self._members):
+            for v in range(self.vnodes):
                 points.append((_hash(b"shard-%d#%d" % (shard, v)), shard))
         points.sort()
         self._points = points
         self._hashes = [h for h, _ in points]
+
+    def members(self) -> List[int]:
+        """The shards currently on the ring, ascending."""
+        return sorted(self._members)
+
+    def remove_node(self, shard: int) -> None:
+        """Take ``shard`` off the ring; its keys spill to ring successors."""
+        if shard not in self._members:
+            raise WorkloadError(f"shard {shard} is not on the ring")
+        if len(self._members) == 1:
+            raise WorkloadError("cannot remove the last shard from the ring")
+        self._members.remove(shard)
+        self._rebuild()
+
+    def add_node(self, shard: int) -> None:
+        """(Re-)add ``shard``; restores its exact pre-removal vnode positions."""
+        if not 0 <= shard < self.shards:
+            raise WorkloadError(
+                f"shard {shard} outside the ring's shard space [0, {self.shards})"
+            )
+        if shard in self._members:
+            raise WorkloadError(f"shard {shard} is already on the ring")
+        self._members.add(shard)
+        self._rebuild()
 
     def shard_for(self, key: bytes) -> int:
         """The shard owning ``key`` (first ring point at/after its hash)."""

@@ -11,9 +11,13 @@ from repro.faults import LATENCY_SPIKE, READ_ERROR, STALL
 from repro.matrix.registry import (
     DEVICES,
     SCENARIOS,
+    SERVING_SCENARIOS,
     TABLES,
     CellSpec,
     FaultScenario,
+    ServingCellSpec,
+    ServingScenario,
+    ServingTableSpec,
     table_by_id,
 )
 from repro.matrix.render import (
@@ -23,7 +27,13 @@ from repro.matrix.render import (
     inject_block,
     render_table,
 )
-from repro.matrix.runner import CELL_METRICS, run_cell, run_cells
+from repro.matrix.runner import (
+    CELL_METRICS,
+    SERVING_CELL_METRICS,
+    run_cell,
+    run_cells,
+    run_serving_cell,
+)
 from repro.sim.units import ms, seconds, us
 from repro.workloads.ycsb import MATRIX_WORKLOADS
 
@@ -36,15 +46,18 @@ EXPERIMENTS_MD = os.path.join(
 
 class TestRegistry:
     def test_tables_are_well_formed(self):
-        assert len(TABLES) >= 2
+        assert len(TABLES) >= 3
         for table in TABLES.values():
             cells = table.cells()
             assert cells, table.table_id
             assert len(set(cells)) == len(cells)
-            for cell in cells:  # CellSpec validates on construction
+            for cell in cells:  # cell specs validate on construction
                 assert cell.device in DEVICES
-                assert cell.workload in MATRIX_WORKLOADS
-                assert cell.scenario in SCENARIOS
+                if isinstance(cell, ServingCellSpec):
+                    assert cell.scenario in SERVING_SCENARIOS
+                else:
+                    assert cell.workload in MATRIX_WORKLOADS
+                    assert cell.scenario in SCENARIOS
 
     def test_registered_grids_cover_the_issue_contract(self):
         ycsb = table_by_id("ycsb-devices")
@@ -52,6 +65,14 @@ class TestRegistry:
         assert ycsb.devices == DEVICES
         grid = table_by_id("fault-grid")
         assert set(grid.scenarios) == {"clean", "io-spikes", "stalls"}
+        serving = table_by_id("serving-failover")
+        assert isinstance(serving, ServingTableSpec)
+        assert set(serving.scenarios) == {
+            "steady",
+            "leader-crash",
+            "leader-partition",
+        }
+        assert serving.devices == DEVICES
 
     def test_unknown_lookups_raise(self):
         with pytest.raises(WorkloadError):
@@ -69,6 +90,25 @@ class TestRegistry:
         with pytest.raises(WorkloadError):
             FaultScenario("bad", "bad", kind=STALL, window=(0.1, 0.5))
 
+    def test_serving_scenarios_validate_and_schedule(self):
+        with pytest.raises(WorkloadError):
+            ServingScenario("bad", "bad", kind="meteor")
+        with pytest.raises(WorkloadError):
+            ServingScenario(
+                "bad", "bad", kind="leader-crash", window=(0.8, 0.2)
+            )
+        crash = SERVING_SCENARIOS["leader-crash"]
+        (spec,) = crash.schedule(seconds(1.0)).specs
+        assert spec.node == 0
+        assert spec.at_time == int(seconds(1.0) * crash.window[0])
+        part = SERVING_SCENARIOS["leader-partition"]
+        (spec,) = part.schedule(seconds(1.0)).specs
+        assert spec.nodes == (0,)
+        assert spec.until_time == int(seconds(1.0) * part.window[1])
+        assert SERVING_SCENARIOS["steady"].schedule(seconds(1.0)) is None
+        with pytest.raises(WorkloadError):
+            ServingCellSpec("serving-failover", "xpoint", "earthquake")
+
     def test_scenario_schedules_scale_with_duration(self):
         spikes = SCENARIOS["io-spikes"]
         schedule = spikes.schedule(seconds(1.0))
@@ -81,8 +121,13 @@ class TestRegistry:
 
 class TestRender:
     def _fake_results(self, table):
+        metrics = (
+            SERVING_CELL_METRICS
+            if isinstance(table, ServingTableSpec)
+            else CELL_METRICS
+        )
         return [
-            {m: float(i + j) for j, m in enumerate(CELL_METRICS)}
+            {m: float(i + j) for j, m in enumerate(metrics)}
             for i in range(len(table.cells()))
         ]
 
@@ -140,6 +185,14 @@ class TestExecution:
         stalled = run_cell(CellSpec("fault-grid", "sata-flash", "A", "stalls"))
         assert stalled["faults"] > 0
         assert stalled["kops"] < clean["kops"]
+
+    def test_serving_cells_run_through_the_dst_harness(self):
+        cell = ServingCellSpec("serving-failover", "xpoint", "leader-crash")
+        result = run_serving_cell(cell)
+        assert set(result) == set(SERVING_CELL_METRICS)
+        assert result["kops"] > 0
+        assert result["slo_met"] <= result["tenants"]
+        assert run_cell(cell) == result  # run_cell dispatches by spec type
 
     def test_cells_are_deterministic_and_jobs_invariant(self):
         cells = [

@@ -1,0 +1,74 @@
+"""Tests for the tenant SLO digest (``repro.obs.summary``)."""
+
+from __future__ import annotations
+
+from repro.obs import tenant_slo_digest
+
+
+def legacy_row(name="a", ops=10, p99=2.0, slo=5.0, **extra):
+    row = {
+        "tenant": name,
+        "users": 100,
+        "ops": ops,
+        "kops": 1.0,
+        "p50_us": 1.0,
+        "p99_us": p99,
+        "slo_p99_us": slo,
+        "slo_violation_frac": 0.0,
+        "throttled_frac": 0.0,
+    }
+    row.update(extra)
+    return row
+
+
+class TestLegacyFormat:
+    def test_zero_fault_digest_is_byte_identical_to_legacy(self):
+        """Rows without resilience columns (or with them all zero) render
+        the exact pre-resilience format — serving baselines must not move."""
+        rows = [legacy_row("a"), legacy_row("b", p99=9.0)]
+        expected = (
+            "tenant-slo digest: 1/2 tenants meeting p99 SLO\n"
+            "  a: p99 2.0us vs SLO 5.0us [ok] | 10 ops (1.0 kops) | "
+            "0.00% over-SLO | 0.00% throttled\n"
+            "  b: p99 9.0us vs SLO 5.0us [MISS] | 10 ops (1.0 kops) | "
+            "0.00% over-SLO | 0.00% throttled"
+        )
+        assert tenant_slo_digest(rows) == expected
+        zeroed = [
+            legacy_row("a", shed=0, errors=0, fault_ops=0),
+            legacy_row("b", p99=9.0, shed=0, errors=0, fault_ops=0),
+        ]
+        assert tenant_slo_digest(zeroed) == expected
+
+    def test_empty(self):
+        assert tenant_slo_digest([]) == "tenant-slo digest: no tenants recorded"
+
+
+class TestResilienceColumns:
+    def test_fully_shed_tenant_does_not_vanish_or_divide_by_zero(self):
+        rows = [
+            legacy_row("healthy"),
+            legacy_row("starved", ops=0, p99=0.0, shed=41, errors=3),
+        ]
+        text = tenant_slo_digest(rows)
+        head = text.splitlines()[0]
+        # The starved tenant is excluded from the SLO headline but
+        # explicitly accounted for.
+        assert head == (
+            "tenant-slo digest: 1/1 tenants meeting p99 SLO "
+            "(1 with no completed ops)"
+        )
+        assert "starved: no completed ops | shed 41 | errors 3" in text
+
+    def test_shed_and_error_counts_print_when_nonzero(self):
+        text = tenant_slo_digest([legacy_row("a", shed=7, errors=2)])
+        assert "| shed 7 | errors 2" in text
+
+    def test_fault_window_tail_split_prints_when_faults_ran(self):
+        row = legacy_row(
+            "a", fault_ops=12, fault_p99_us=900.0, steady_p99_us=40.0
+        )
+        text = tenant_slo_digest([row])
+        assert "fault-window p99 900.0us vs steady 40.0us" in text
+        quiet = tenant_slo_digest([legacy_row("a")])
+        assert "fault-window" not in quiet

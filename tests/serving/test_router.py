@@ -59,3 +59,62 @@ class TestHashRing:
             HashRing(0)
         with pytest.raises(WorkloadError):
             HashRing(2, vnodes=0)
+
+
+class TestRingMembership:
+    """Failover-driven remove/re-add must be exactly symmetric.
+
+    When a shard group goes down and later rejoins, the ring must route
+    every key exactly as before the outage — ring points are derived
+    from the member's *name*, never from insertion order or ring state,
+    so remove+add is a true inverse (the regression this pins down)."""
+
+    def test_remove_then_readd_restores_identical_mapping(self):
+        ring = HashRing(4)
+        keys = sample_keys(3000)
+        before = [ring.shard_for(k) for k in keys]
+        ring.remove_node(2)
+        assert 2 not in ring.members()
+        during = [ring.shard_for(k) for k in keys]
+        assert 2 not in set(during)
+        ring.add_node(2)
+        after = [ring.shard_for(k) for k in keys]
+        assert after == before
+        assert sorted(ring.members()) == [0, 1, 2, 3]
+
+    def test_removal_only_moves_the_removed_shards_keys(self):
+        ring = HashRing(4)
+        keys = sample_keys(3000)
+        before = {k: ring.shard_for(k) for k in keys}
+        ring.remove_node(1)
+        for k in keys:
+            if before[k] != 1:
+                assert ring.shard_for(k) == before[k]
+
+    def test_remove_readd_in_any_order_is_stable(self):
+        """Membership churn in different orders converges to one mapping."""
+        keys = sample_keys(1500)
+        a, b = HashRing(5), HashRing(5)
+        a.remove_node(1)
+        a.remove_node(3)
+        a.add_node(1)
+        a.add_node(3)
+        b.remove_node(3)
+        b.remove_node(1)
+        b.add_node(3)
+        b.add_node(1)
+        fresh = HashRing(5)
+        for k in keys:
+            assert a.shard_for(k) == b.shard_for(k) == fresh.shard_for(k)
+
+    def test_membership_validation(self):
+        ring = HashRing(2)
+        with pytest.raises(WorkloadError):
+            ring.add_node(0)  # already present
+        with pytest.raises(WorkloadError):
+            ring.add_node(2)  # outside [0, shards)
+        with pytest.raises(WorkloadError):
+            ring.remove_node(5)  # not a member
+        ring.remove_node(1)
+        with pytest.raises(WorkloadError):
+            ring.remove_node(0)  # cannot empty the ring
