@@ -105,31 +105,27 @@ class SimFile:
         self._check_alive()
         if nbytes <= 0:
             raise FileSystemError(f"append size must be positive: {nbytes}")
+        fs = self.fs
+        offset = self.size
         # Allocate extents (and hit any quota) *before* mutating the file,
         # so a failed append (ENOSPC) leaves size/records untouched.
-        self.fs._ensure_extents(self, self.size + nbytes)
-        offset = self.size
-        self.size += nbytes
+        fs._ensure_extents(self, offset + nbytes)
+        self.size = offset + nbytes
         if record is not None:
             self.records.append((nbytes, record))
-        self.fs.page_cache.fill(self.file_id, offset, nbytes)
-        self.fs.stats.inc("bytes_appended", nbytes)
+        fs.page_cache.fill(self.file_id, offset, nbytes)
+        fs.stats.inc("bytes_appended", nbytes)
 
-        writeback_at = (
-            self.writeback_bytes
-            if self.writeback_bytes is not None
-            else self.fs.writeback_bytes
-        )
-        dirty_limit = (
-            self.dirty_limit_bytes
-            if self.dirty_limit_bytes is not None
-            else self.fs.dirty_limit_bytes
-        )
-        dirty = self.size - self._flushed_size
-        if dirty >= writeback_at:
+        writeback_at = self.writeback_bytes
+        if writeback_at is None:
+            writeback_at = fs.writeback_bytes
+        if self.size - self._flushed_size >= writeback_at:
             ev = self._start_flush()
+            dirty_limit = self.dirty_limit_bytes
+            if dirty_limit is None:
+                dirty_limit = fs.dirty_limit_bytes
             if self.size - self.synced_size >= dirty_limit:
-                self.fs.stats.inc("writeback_stalls")
+                fs.stats.inc("writeback_stalls")
                 return ev
         return None
 
@@ -216,20 +212,39 @@ class SimFile:
             raise FileSystemError(
                 f"read [{offset}, {offset + nbytes}) beyond EOF {self.size} in {self.path}"
             )
-        cache = self.fs.page_cache
-        holes = cache.access(self.file_id, offset, nbytes)
+        fs = self.fs
+        # read_through = access + fill of the misses in one page walk; the
+        # missing pages are already resident when it returns.
+        holes = fs.page_cache.read_through(self.file_id, offset, nbytes)
         if not holes:
-            self.fs.stats.inc("cached_reads")
+            fs.stats.inc("cached_reads")
             return None
-        self.fs.stats.inc("device_reads")
-        events = []
-        for hole_off, hole_len in holes:
-            cache.fill(self.file_id, hole_off, hole_len)
-            for phys, run_len in self.fs._physical_runs(self, hole_off, hole_len):
-                events.append(self.fs.device.read(phys, run_len, sequential=sequential))
+        fs.stats.inc("device_reads")
+        if len(holes) == 1:
+            # Single hole within one extent (the common small-block read):
+            # map it inline instead of spinning up the _physical_runs
+            # generator for one run.
+            hole_off, hole_len = holes[0]
+            extent_idx, within = divmod(hole_off, EXTENT_BYTES)
+            extents = self.extents
+            if within + hole_len <= EXTENT_BYTES and extent_idx < len(extents):
+                return fs.device.read(
+                    extents[extent_idx] + within, hole_len, sequential=sequential
+                )
+            events = [
+                fs.device.read(phys, run_len, sequential=sequential)
+                for phys, run_len in fs._physical_runs(self, hole_off, hole_len)
+            ]
+        else:
+            events = []
+            for hole_off, hole_len in holes:
+                for phys, run_len in fs._physical_runs(self, hole_off, hole_len):
+                    events.append(
+                        fs.device.read(phys, run_len, sequential=sequential)
+                    )
         if len(events) == 1:
             return events[0]
-        return self.fs.engine.all_of(events)
+        return fs.engine.all_of(events)
 
     # -- lifecycle & integrity -------------------------------------------------
 

@@ -58,9 +58,20 @@ class PageCache:
         if nbytes <= 0:
             raise FileSystemError(f"access size must be positive: {nbytes}")
         pages = self._pages
+        first = offset // self.page_size
+        last = (offset + nbytes - 1) // self.page_size
+        if first == last:
+            # Single-page fast path: most WAL appends and small block reads.
+            key = (file_id, first)
+            if key in pages:
+                pages.move_to_end(key)
+                self.stats.inc("page_hits", 1)
+                return []
+            self.stats.inc("page_misses", 1)
+            return [(first * self.page_size, self.page_size)]
         missing_pages: List[int] = []
         hits = 0
-        for page in self._page_range(offset, nbytes):
+        for page in range(first, last + 1):
             key = (file_id, page)
             if key in pages:
                 pages.move_to_end(key)  # promote to MRU
@@ -71,6 +82,53 @@ class PageCache:
             self.stats.inc("page_hits", hits)
         if missing_pages:
             self.stats.inc("page_misses", len(missing_pages))
+        return self._coalesce(missing_pages)
+
+    def read_through(self, file_id: int, offset: int, nbytes: int) -> List[Tuple[int, int]]:
+        """:meth:`access` + :meth:`fill` of the misses in one page scan.
+
+        Returns the coalesced holes that must be fetched from the device,
+        with the missing pages already inserted as resident — exactly the
+        state (LRU order, eviction sequence, tickers) of an ``access``
+        followed by one ``fill`` per hole, at half the page-walk cost.
+        """
+        if nbytes <= 0:
+            raise FileSystemError(f"access size must be positive: {nbytes}")
+        pages = self._pages
+        first = offset // self.page_size
+        last = (offset + nbytes - 1) // self.page_size
+        if first == last:
+            # Single-page fast path: most small block reads.
+            key = (file_id, first)
+            if key in pages:
+                pages.move_to_end(key)
+                self.stats.inc("page_hits", 1)
+                return []
+            self.stats.inc("page_misses", 1)
+            pages[key] = True
+            if len(pages) > self.capacity_pages:
+                self._evict_excess()
+            return [(first * self.page_size, self.page_size)]
+        # Hits are promoted before any miss is inserted (matching access()
+        # followed by fill()): interleaving would reorder the LRU list and
+        # change which pages later evictions pick.
+        missing_pages: List[int] = []
+        hits = 0
+        for page in range(first, last + 1):
+            key = (file_id, page)
+            if key in pages:
+                pages.move_to_end(key)  # promote to MRU
+                hits += 1
+            else:
+                missing_pages.append(page)
+        if hits:
+            self.stats.inc("page_hits", hits)
+        if missing_pages:
+            self.stats.inc("page_misses", len(missing_pages))
+            for page in missing_pages:
+                pages[(file_id, page)] = True
+            if len(pages) > self.capacity_pages:
+                self._evict_excess()
         return self._coalesce(missing_pages)
 
     def _coalesce(self, pages: List[int]) -> List[Tuple[int, int]]:
@@ -92,7 +150,20 @@ class PageCache:
         if nbytes <= 0:
             return
         pages = self._pages
-        for page in self._page_range(offset, nbytes):
+        first = offset // self.page_size
+        last = (offset + nbytes - 1) // self.page_size
+        if first == last:
+            # Single-page fast path: nothing was inserted on a hit, so the
+            # eviction sweep (a no-op then) is skipped entirely.
+            key = (file_id, first)
+            if key in pages:
+                pages.move_to_end(key)
+                return
+            pages[key] = True
+            if len(pages) > self.capacity_pages:
+                self._evict_excess()
+            return
+        for page in range(first, last + 1):
             key = (file_id, page)
             if key in pages:
                 pages.move_to_end(key)

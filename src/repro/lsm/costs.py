@@ -69,32 +69,66 @@ class CostModel:
 
     # -- derived costs ---------------------------------------------------------
 
+    # The O(log N) formulas below are memoized per instance, keyed by the
+    # count's bit length: the cost only changes when the entry count crosses
+    # a power of two, so each table holds a few dozen entries at most and
+    # the dict probe is several times cheaper than the float arithmetic.
+    # Memoization is exact — same bit length, same rounded result.
+
+    def __post_init__(self) -> None:
+        # frozen dataclass: caches bypass the immutability guard and are not
+        # dataclass fields, so __eq__/__hash__/__repr__ are unaffected.
+        object.__setattr__(self, "_memo_insert", {})
+        object.__setattr__(self, "_memo_lookup", {})
+        object.__setattr__(self, "_memo_search", {})
+        object.__setattr__(self, "_memo_index", {})
+
     def memtable_insert(self, entry_count: int) -> int:
         """Skiplist insert: O(log N)."""
-        return round(
-            self.memtable_insert_base_ns
-            + self.memtable_insert_per_level_ns * _log2(entry_count + 1)
-        )
+        level = (entry_count + 1).bit_length()  # == _log2(entry_count + 1) + 1
+        memo = self._memo_insert
+        cost = memo.get(level)
+        if cost is None:
+            cost = memo[level] = round(
+                self.memtable_insert_base_ns
+                + self.memtable_insert_per_level_ns * (level - 1.0)
+            )
+        return cost
 
     def memtable_lookup(self, entry_count: int) -> int:
-        return round(
-            self.memtable_lookup_base_ns
-            + self.memtable_lookup_per_level_ns * _log2(entry_count + 1)
-        )
+        level = (entry_count + 1).bit_length()  # == _log2(entry_count + 1) + 1
+        memo = self._memo_lookup
+        cost = memo.get(level)
+        if cost is None:
+            cost = memo[level] = round(
+                self.memtable_lookup_base_ns
+                + self.memtable_lookup_per_level_ns * (level - 1.0)
+            )
+        return cost
 
     def sst_search(self, entry_count: int) -> int:
         """Level-0 in-file key search (SkipList-organized file)."""
-        return round(
-            self.sst_search_base_ns
-            + self.sst_search_per_level_ns * _log2(entry_count + 1)
-        )
+        level = (entry_count + 1).bit_length()  # == _log2(entry_count + 1) + 1
+        memo = self._memo_search
+        cost = memo.get(level)
+        if cost is None:
+            cost = memo[level] = round(
+                self.sst_search_base_ns
+                + self.sst_search_per_level_ns * (level - 1.0)
+            )
+        return cost
 
     def sst_index_search(self, entry_count: int) -> int:
         """Level >= 1 key search: index binary search + block restart scan."""
-        return round(
-            self.sst_index_search_base_ns
-            + self.sst_index_search_per_level_ns * _log2(entry_count + 1)
-        )
+        level = (entry_count + 1).bit_length()  # == _log2(entry_count + 1) + 1
+        memo = self._memo_index
+        cost = memo.get(level)
+        if cost is None:
+            cost = memo[level] = round(
+                self.sst_index_search_base_ns
+                + self.sst_index_search_per_level_ns * (level - 1.0)
+            )
+        return cost
 
     def wal_serialize(self, nbytes: int) -> int:
         return self.wal_append_base_ns + (nbytes * self.wal_serialize_per_byte_ps) // 1000

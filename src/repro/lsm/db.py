@@ -37,19 +37,19 @@ from repro.errors import (
     IOFaultError,
     OutOfSpaceError,
 )
-from repro.fs.filesystem import SimFileSystem
+from repro.fs.filesystem import SimFile, SimFileSystem
 from repro.lsm.block_cache import BlockCache
 from repro.lsm.compaction import CompactionJob, CompactionPicker
 from repro.lsm.costs import DEFAULT_COSTS, CostModel
 from repro.lsm.error_handler import SEV_SOFT, ErrorHandler
 from repro.lsm.flush import FlushJob
-from repro.lsm.format import KIND_PUT, Entry
-from repro.lsm.io_retry import retry_call
+from repro.lsm.format import KIND_DELETE, KIND_PUT, Entry
+from repro.lsm.io_retry import IO_RETRIES, IO_RETRY_BACKOFF_NS
 from repro.lsm.memtable import MemTable, MemTableList
-from repro.lsm.options import Options
+from repro.lsm.options import WAL_SYNC, Options
 from repro.lsm.pipelined_write import ROLE_LEADER, WriteQueue, Writer
 from repro.lsm.sst_file_manager import SstFileManager
-from repro.lsm.value import Value, materialize
+from repro.lsm.value import Value, materialize, value_size
 from repro.lsm.version import FileMetadata, VersionSet
 from repro.lsm.wal import WalManager, scan_log, truncate_log
 from repro.lsm.write_batch import WriteBatch
@@ -285,143 +285,358 @@ class DB:
     # ------------------------------------------------------------------- writes
 
     def put(self, key: bytes, value: Value):
-        """Generator: insert/overwrite one key."""
-        batch = WriteBatch().put(key, value)
-        result = yield from self.write(batch)
-        return result
+        """Insert/overwrite one key; returns the write generator.
+
+        A thin non-generator wrapper (as are :meth:`delete` and
+        :meth:`write`): building the op list here instead of routing through
+        a :class:`WriteBatch` skips an allocation and a size-dispatch per op,
+        and returning the inner generator directly adds no frame to its
+        (many) resumes.
+        """
+        if not isinstance(key, bytes):
+            raise DBError(f"keys must be bytes, got {type(key).__name__}")
+        return self._write_ops(
+            [(KIND_PUT, key, value)], len(key) + value_size(value)
+        )
 
     def delete(self, key: bytes):
-        """Generator: write a tombstone for one key."""
-        batch = WriteBatch().delete(key)
-        result = yield from self.write(batch)
-        return result
+        """Write a tombstone for one key; returns the write generator."""
+        if not isinstance(key, bytes):
+            raise DBError(f"keys must be bytes, got {type(key).__name__}")
+        return self._write_ops([(KIND_DELETE, key, None)], len(key))
 
     def write(self, batch: WriteBatch):
-        """Generator: apply a batch atomically (Algorithms 1 + 2)."""
-        self._check_open()
-        if not batch.ops:
+        """Apply a batch atomically; returns the write generator.
+
+        The batch's ops are copied: the write path re-keys them in place
+        while the caller may reuse or clear the batch.
+        """
+        return self._write_ops(list(batch.ops), batch.data_bytes)
+
+    def _write_ops(self, ops: List[Tuple[int, bytes, Optional[Value]]], data_bytes: int):
+        """Generator: apply ``ops`` atomically (Algorithms 1 + 2).
+
+        ``ops`` is owned by this generator.  Leader duties (group formation,
+        memtable switch, WAL append) and the memtable phase are inlined
+        rather than delegated to sub-generators: this generator is resumed
+        several times per write at benchmark scale, and every level of
+        ``yield from`` nesting adds a frame hop to each resume.  The effect
+        order is unchanged.
+        """
+        if self._closed:
+            raise DBClosedError("operation on a closed DB")
+        if not ops:
             return 0
+        engine = self.engine
+        stats = self.stats
+        controller = self.controller
         if self.error_handler.severity:
             self.error_handler.check_writable()  # hard/fatal -> read-only
-        start = self.engine.now
+        start = engine._now
 
         # --- Algorithm 1: the write control process -------------------------
-        while self.controller.state == STOPPED:
-            self.stats.inc("stall.stops_hit")
-            yield self.controller.stop_wait_event()
+        while controller.state == STOPPED:
+            stats.inc("stall.stops_hit")
+            yield controller.stop_wait_event()
             if self.error_handler.severity:
                 self.error_handler.check_writable()
-        if self.controller.state == DELAYED:
-            self.controller.on_delayed_write(self._backlog_bytes())
-            delay = self.controller.get_delay(batch.data_bytes)
+        if controller.state == DELAYED:
+            controller.on_delayed_write(self._backlog_bytes())
+            delay = controller.get_delay(data_bytes)
             if delay > 0:
-                self.stats.inc("stall.delays_hit")
-                self.stats.inc("stall.delay_ns", delay)
+                stats.inc("stall.delays_hit")
+                stats.inc("stall.delay_ns", delay)
                 yield delay
-            while self.controller.state == STOPPED:
-                self.stats.inc("stall.stops_hit")
-                yield self.controller.stop_wait_event()
+            while controller.state == STOPPED:
+                stats.inc("stall.stops_hit")
+                yield controller.stop_wait_event()
                 if self.error_handler.severity:
                     self.error_handler.check_writable()
 
         # --- Algorithm 2: the pipelined write process -------------------------
-        writer = Writer(list(batch.ops), batch.data_bytes, self.engine.event())
-        writer.queue = self._queue_for(batch)
-        if writer.queue.join(writer):
+        writer = Writer(ops, data_bytes)
+        queues = self.write_queues
+        queue = (
+            queues[0]
+            if len(queues) == 1
+            else queues[zlib.crc32(ops[0][1]) % len(queues)]
+        )
+        writer.queue = queue
+        if queue.join(writer):
             role = ROLE_LEADER
         else:
             role = yield writer.event
-        if role == ROLE_LEADER:
-            yield from self._lead_group(writer)
-        else:
-            yield from self._memtable_phase(writer)
 
-        self.stats.inc("puts", len(batch.ops))
-        latency = self.engine.now - start
+        costs = self.costs
+        trace_start = -1
+        trace_len = 0
+        if role == ROLE_LEADER:
+            # ---- leader duties: group formation, memtable switch, WAL ----
+            group_start = engine._now
+            group = queue.form_group(writer)
+            try:
+                cpu = (
+                    costs.write_group_leader_ns
+                    + costs.write_group_per_writer_ns * len(group.writers)
+                )
+
+                # Switch the memtable between groups, never inside one (keeps
+                # the WAL/memtable correspondence crash-safe).  The cheap
+                # memtable-full test is inlined; the write-buffer-manager arm
+                # (with its ticker) stays in _memtable_should_switch(), which
+                # re-checks the first condition harmlessly.
+                if (
+                    self.memtables.mutable.charged_bytes
+                    >= self.options.write_buffer_size
+                    or (
+                        self.write_buffer_manager is not None
+                        and self._memtable_should_switch()
+                    )
+                ):
+                    yield from self._switch_memtable()
+
+                # Assign sequence numbers in queue order.
+                seq = self.versions.last_sequence
+                wal_records: List[Tuple[bytes, Entry]] = []
+                for member in group.writers:
+                    entries: List[Tuple[bytes, Entry]] = []
+                    for kind, key, value in member.records:
+                        seq += 1
+                        entries.append(
+                            (key, (seq, kind, value if kind == KIND_PUT else None))
+                        )
+                    member.records = entries  # now (key, entry) pairs
+                    wal_records.extend(entries)
+                self.versions.last_sequence = seq
+
+                wal_number = self.wal.current_number
+                for member in group.writers:
+                    member.wal_number = wal_number
+                wal_cpu, wal_event = self.wal.add_group(wal_records)
+                total_cpu = cpu + wal_cpu
+                if total_cpu:
+                    yield total_cpu
+                if wal_event is not None:
+                    yield wal_event
+            except GeneratorExit:
+                # The writer was abandoned (simulation teardown): its members
+                # are being discarded too — no fail fan-out, no events.
+                raise
+            except BaseException as exc:
+                # The group never reaches the memtable phase: fail the waiting
+                # members (they re-raise from their own write()) and hand
+                # leadership to the next writer, else the queue hangs forever.
+                queue.fail_group(group, exc)
+                if isinstance(exc, (IOFaultError, OutOfSpaceError)):
+                    self.error_handler.on_background_error("wal", exc)
+                raise
+
+            queue.wal_phase_done(group)
+            if engine._trace:
+                trace_start = group_start
+                trace_len = len(group.writers)
+
+        # ---- memtable phase: one group member applies its batch ----
+        cpu = 0
+        mt = self.memtables.mutable
+        # If a later group switched the memtable while we were waking up,
+        # our records live in an older WAL: pin it via min_log_number.
+        if writer.wal_number and self.wal.enabled:
+            if writer.wal_number < mt.min_log_number:
+                mt.min_log_number = writer.wal_number
+        memtable_insert = costs.memtable_insert
+        for key, entry in writer.records:
+            cpu += memtable_insert(mt.entry_count)
+            mt.add(key, entry)
+        if cpu:
+            yield cpu
+        queue.member_done(writer.group)
+        if trace_start >= 0:
+            engine.tracer.write_group(trace_start, engine._now, trace_len)
+
+        stats.inc("puts", len(ops))
+        latency = engine._now - start
         self._write_latency.record(latency)
         return latency
-
-    def _queue_for(self, batch: WriteBatch) -> WriteQueue:
-        """Writer-queue shard for a batch (single queue unless sharded)."""
-        if len(self.write_queues) == 1:
-            return self.write_queues[0]
-        first_key = batch.ops[0][1]
-        return self.write_queues[zlib.crc32(first_key) % len(self.write_queues)]
 
     def mean_waiting_writers(self) -> float:
         """Time-averaged writers waiting across all queue shards (Fig. 16)."""
         return sum(q.mean_waiting() for q in self.write_queues)
 
-    def _lead_group(self, leader: Writer):
-        """Leader duties: group formation, memtable switch, WAL, fan-out."""
-        group_start = self.engine.now
-        group = leader.queue.form_group(leader)
-        try:
-            cpu = (
-                self.costs.write_group_leader_ns
-                + self.costs.write_group_per_writer_ns * len(group)
+    # ------------------------------------------------------- batched fast path
+
+    def put_fast(self, key: bytes, value: Value) -> Optional[int]:
+        """Non-generator twin of :meth:`put` for the no-yield-needed case.
+
+        Executes a solo-leader, non-stalled, buffered-WAL put entirely
+        inline, advancing the clock directly instead of round-tripping
+        through the engine for its two CPU sleeps.  Returns the op latency,
+        or ``None`` when any Algorithm-1/2 state makes the op observable by
+        the rest of the simulated world — a stall, a queued writer, a due
+        memtable switch, WAL sync/replication/writeback, tracing, or another
+        occurrence scheduled inside the op's time span — in which case the
+        caller must fall back to ``yield from db.put(...)`` (eligibility is
+        checked before any mutation, so falling back is always safe).
+
+        Effect order replicates the per-op path exactly; the only divergence
+        is virtual-time bookkeeping the kernel would have done for us.
+        """
+        engine = self.engine
+        if (
+            self._closed
+            or engine._trace
+            or self.error_handler.severity
+            or self.controller.state != NORMAL
+            or len(self.write_queues) != 1
+        ):
+            return None
+        queue = self.write_queues[0]
+        if queue._has_leader or queue._waiting:
+            return None
+        options = self.options
+        mt = self.memtables.mutable
+        if mt.charged_bytes >= options.write_buffer_size:
+            return None  # memtable switch due
+        wbm = self.write_buffer_manager
+        if wbm is not None:
+            # Mirror should_flush()'s early-False arm without calling it: a
+            # True return increments its flush_triggers ticker, which the
+            # fallback path would then double-count.
+            usage = wbm.memory_usage()
+            if usage > wbm.peak_usage:
+                wbm.peak_usage = usage
+            mutable = wbm.mutable_usage()
+            if mutable > wbm.mutable_limit or (
+                usage >= wbm.buffer_size and mutable >= wbm.buffer_size // 2
+            ):
+                return None
+        costs = self.costs
+        wal = self.wal
+        wal_cpu = 0
+        append_bytes = 0
+        if wal.enabled:
+            if wal.on_group is not None or options.wal_mode == WAL_SYNC:
+                return None
+            f = wal.current
+            if f is None or f.__class__ is not SimFile:
+                return None  # fault-injecting file: keep the audited path
+            if value is None:
+                vsize = 0
+            elif value.__class__ is bytes:
+                vsize = len(value)
+            else:
+                vsize = getattr(value, "size", None)
+                if vsize is None:
+                    return None  # odd value type: keep the audited path
+            append_bytes = len(key) + vsize + options.wal_record_overhead
+            wal_cpu = costs.wal_serialize(append_bytes)
+            if options.wal_compression:
+                wal_cpu += (
+                    append_bytes * costs.wal_compress_per_byte_ps
+                ) // 1000
+                append_bytes = max(
+                    1, int(append_bytes * options.wal_compression_ratio)
+                )
+            wal_cpu += wal._seq_write_half_ns
+            writeback_at = (
+                f.writeback_bytes
+                if f.writeback_bytes is not None
+                else f.fs.writeback_bytes
             )
-
-            # Switch the memtable between groups, never inside one (keeps
-            # the WAL/memtable correspondence crash-safe).
-            if self._memtable_should_switch():
-                yield from self._switch_memtable()
-
-            # Assign sequence numbers in queue order.
-            seq = self.versions.last_sequence
-            wal_records: List[Tuple[bytes, Entry]] = []
-            for writer in group.writers:
-                entries: List[Tuple[bytes, Entry]] = []
-                for kind, key, value in writer.records:
-                    seq += 1
-                    entry: Entry = (seq, kind, value if kind == KIND_PUT else None)
-                    entries.append((key, entry))
-                writer.records = entries  # now (key, entry) pairs
-                wal_records.extend(entries)
-            self.versions.last_sequence = seq
-
-            wal_number = self.wal.current_number
-            for writer in group.writers:
-                writer.wal_number = wal_number
-            wal_cpu, wal_event = self.wal.add_group(wal_records)
-            total_cpu = cpu + wal_cpu
-            if total_cpu:
-                yield total_cpu
-            if wal_event is not None:
-                yield wal_event
+            if f.size + append_bytes - f._flushed_size >= writeback_at:
+                return None  # append would start a writeback flush
+        total_cpu = (
+            self.costs.write_group_leader_ns
+            + self.costs.write_group_per_writer_ns
+            + wal_cpu
+        )
+        mem_cpu = costs.memtable_insert(mt.entry_count)
+        wake = engine._now + total_cpu + mem_cpu
+        if (
+            engine._nowq
+            or (engine._heap and engine._heap[0][0] <= wake)
+            or wake > engine.run_limit
+        ):
+            return None  # something else runs inside the op's span
+        # Eligible: from here on, every effect matches the per-op path.
+        start = engine._now
+        writer = Writer([(KIND_PUT, key, value)], len(key) + value_size(value))
+        writer.queue = queue
+        queue.join(writer)  # solo -> leader, no gauge touch
+        group = queue.form_group(writer)
+        seq = self.versions.last_sequence + 1
+        entry: Entry = (seq, KIND_PUT, value)
+        writer.records = [(key, entry)]
+        self.versions.last_sequence = seq
+        writer.wal_number = wal.current_number
+        try:
+            got_cpu, wal_event = wal.add_group(writer.records)
         except GeneratorExit:
-            # The writer was abandoned (simulation teardown): its members
-            # are being discarded too — no fail fan-out, no events.
             raise
         except BaseException as exc:
-            # The group never reaches the memtable phase: fail the waiting
-            # members (they re-raise from their own write()) and hand
-            # leadership to the next writer, else the queue hangs forever.
-            leader.queue.fail_group(group, exc)
+            queue.fail_group(group, exc)
             if isinstance(exc, (IOFaultError, OutOfSpaceError)):
                 self.error_handler.on_background_error("wal", exc)
             raise
-
-        leader.queue.wal_phase_done(group)
-        yield from self._memtable_phase(leader)
-        engine = self.engine
-        if engine._trace:
-            engine.tracer.write_group(group_start, engine.now, len(group.writers))
-
-    def _memtable_phase(self, writer: Writer):
-        """One group member applies its batch to the mutable memtable."""
-        cpu = 0
-        mt = self.memtables.mutable
-        # If a later group switched the memtable while we were waking up,
-        # our records live in an older WAL: pin it via min_log_number.
-        if self.wal.enabled and writer.wal_number:
+        if wal_event is not None or got_cpu != wal_cpu:
+            # Excluded by the pre-checks; a mismatch here is a bug, not a
+            # fallback case (state is already mutated).
+            raise DBError("fast-path put diverged from wal.add_group")
+        engine._now += total_cpu
+        queue.wal_phase_done(group)
+        if wal.enabled and writer.wal_number:
             mt.min_log_number = min(mt.min_log_number, writer.wal_number)
-        for key, entry in writer.records:
-            cpu += self.costs.memtable_insert(mt.entry_count)
-            mt.add(key, entry)
-        if cpu:
-            yield cpu
-        writer.queue.member_done(writer.group)
+        mt.add(key, entry)
+        engine._now += mem_cpu
+        queue.member_done(group)
+        self.stats.inc("puts", 1)
+        latency = engine._now - start
+        self._write_latency.record(latency)
+        return latency
+
+    def get_fast(self, key: bytes) -> Optional[Tuple[bool, Optional[Value]]]:
+        """Non-generator twin of :meth:`get` for memtable-hit lookups.
+
+        Returns ``(found, value)`` on a memtable hit whose CPU span can be
+        warped past (nothing else scheduled inside it), else ``None`` — the
+        caller falls back to ``yield from db.get(...)``.  Memtable probing
+        is pure, so bailing after a probe is side-effect-free; misses always
+        fall back (the SST path does I/O and mutates the block cache LRU).
+        """
+        if self._closed:
+            return None
+        engine = self.engine
+        costs = self.costs
+        mts = self.memtables
+        table = mts.mutable
+        cpu = costs.memtable_lookup(table.entry_count)
+        entry = table.get(key)
+        if entry is None:
+            if not mts.immutables:
+                return None
+            for table in reversed(mts.immutables):
+                cpu += costs.memtable_lookup(table.entry_count)
+                entry = table.get(key)
+                if entry is not None:
+                    break
+            else:
+                return None
+        wake = engine._now + cpu
+        if (
+            engine._nowq
+            or (engine._heap and engine._heap[0][0] <= wake)
+            or wake > engine.run_limit
+        ):
+            return None
+        engine._now = wake
+        stats = self.stats
+        stats.inc("gets")
+        stats.inc("get.memtable_hit")
+        result = entry[2] if entry[1] == KIND_PUT else None
+        if result is None:
+            stats.inc("get.tombstone")
+        self._read_latency.record(cpu)
+        return True, result
 
     def _memtable_should_switch(self) -> bool:
         """Mutable memtable full, or the shared write-buffer budget says so."""
@@ -507,29 +722,140 @@ class DB:
     # -------------------------------------------------------------------- reads
 
     def get(self, key: bytes):
-        """Generator: point lookup; returns the value, or None."""
+        """Generator: point lookup; returns the value, or None.
+
+        Memtable probing, the level walk, and the per-SST search are all
+        inlined in one generator frame: an IO-bound lookup suspends on its
+        device read several frames deep otherwise, and every level of
+        ``yield from`` nesting adds a frame hop to each resume (plus a
+        generator allocation per probed file).  Effect order is unchanged.
+        """
         self._check_open()
-        start = self.engine.now
-        self.stats.inc("gets")
+        engine = self.engine
+        stats = self.stats
+        costs = self.costs
+        start = engine._now
+        stats.inc("gets")
         cpu = 0
         result: Optional[Value] = None
         found = False
 
-        # 1. memtables, newest first.
-        for table in self.memtables.tables_newest_first():
-            cpu += self.costs.memtable_lookup(table.entry_count)
-            entry = table.get(key)
-            if entry is not None:
-                found = True
-                result = entry[2] if entry[1] == KIND_PUT else None
-                self.stats.inc("get.memtable_hit")
-                break
+        # 1. memtables, newest first (iterated in place: building the
+        # newest-first list allocates once per lookup at benchmark scale).
+        mts = self.memtables
+        table = mts.mutable
+        cpu += costs.memtable_lookup(table.entry_count)
+        entry = table.get(key)
+        if entry is None and mts.immutables:
+            for table in reversed(mts.immutables):
+                cpu += costs.memtable_lookup(table.entry_count)
+                entry = table.get(key)
+                if entry is not None:
+                    break
+        if entry is not None:
+            found = True
+            result = entry[2] if entry[1] == KIND_PUT else None
+            stats.inc("get.memtable_hit")
 
         if not found:
             version = self.versions.ref_current()
+            range_check = costs.sst_range_check_ns
+            bloom_probe = costs.bloom_probe_ns
+            cache_lookup = costs.block_cache_lookup_ns
+            block_decode = costs.block_decode_ns
+            block_cache = self.block_cache
+            cache_ns = self._cache_ns
+            paranoid = self.options.paranoid_checks
+            entry = None
             try:
-                search = self._search_version(version, key, cpu)
-                entry = yield from search
+                # Level 0: every file whose range covers the key must be
+                # searched, newest first — the paper's L0 query overhead.
+                for meta in version.level0_files():
+                    cpu += range_check
+                    sst = meta.sst
+                    if not sst.key_in_range(key):
+                        continue
+                    stats.inc("get.l0_probes")
+                    if sst.bloom is not None:
+                        cpu += bloom_probe
+                        if not sst.may_contain(key):
+                            stats.inc("bloom.useful")
+                            continue
+                    cpu += costs.sst_search(sst.entry_count)
+                    block_idx = sst.block_for_key(key)
+                    cpu += cache_lookup
+                    cache_key = (cache_ns, sst.number, block_idx)
+                    if not block_cache.lookup(cache_key):
+                        if cpu:
+                            yield cpu
+                        cpu = 0
+                        offset, nbytes = sst.block_span(block_idx)
+                        try:
+                            io_event = meta.file.read(offset, nbytes)
+                        except IOFaultError as exc:
+                            io_event = yield from self._retry_block_read(
+                                meta, offset, nbytes, exc
+                            )
+                        if io_event is not None:
+                            yield io_event
+                            stats.inc("get.block_device_reads")
+                        if meta.file.corrupt_ranges or paranoid:
+                            sst.verify_block(block_idx, meta.file)
+                        cpu += block_decode
+                        block_cache.insert(cache_key, nbytes)
+                    entry = sst.find(key)
+                    if entry is not None:
+                        stats.inc("get.l0_hit")
+                        break
+                if entry is None:
+                    # Deeper levels: at most one candidate file per level.
+                    for level in range(1, self.options.num_levels):
+                        meta = version.file_for_key(level, key)
+                        cpu += range_check
+                        if meta is None:
+                            continue
+                        sst = meta.sst
+                        if sst.bloom is not None:
+                            cpu += bloom_probe
+                            if not sst.may_contain(key):
+                                stats.inc("bloom.useful")
+                                continue
+                        cpu += costs.sst_index_search(sst.entry_count)
+                        block_idx = sst.block_for_key(key)
+                        cpu += cache_lookup
+                        cache_key = (cache_ns, sst.number, block_idx)
+                        if not block_cache.lookup(cache_key):
+                            if cpu:
+                                yield cpu
+                            cpu = 0
+                            offset, nbytes = sst.block_span(block_idx)
+                            try:
+                                io_event = meta.file.read(offset, nbytes)
+                            except IOFaultError as exc:
+                                io_event = yield from self._retry_block_read(
+                                    meta, offset, nbytes, exc
+                                )
+                            if io_event is not None:
+                                yield io_event
+                                stats.inc("get.block_device_reads")
+                            if meta.file.corrupt_ranges or paranoid:
+                                sst.verify_block(block_idx, meta.file)
+                            cpu += block_decode
+                            block_cache.insert(cache_key, nbytes)
+                        entry = sst.find(key)
+                        if entry is not None:
+                            stats.inc(
+                                f"get.l{level}_hit"
+                                if level <= 2
+                                else "get.deep_hit"
+                            )
+                            break
+                # Pending search CPU is charged before the version ref is
+                # released (matching the delegated-search order): a sleep
+                # after unref could let a concurrent compaction purge files
+                # this lookup was still pinning.
+                if cpu:
+                    yield cpu
                 cpu = 0
                 if entry is not None:
                     found = True
@@ -540,81 +866,32 @@ class DB:
         if cpu:
             yield cpu
         if not found or result is None:
-            self.stats.inc("get.miss" if not found else "get.tombstone")
-        self._read_latency.record(self.engine.now - start)
+            stats.inc("get.miss" if not found else "get.tombstone")
+        self._read_latency.record(engine._now - start)
         return result
 
-    def _search_version(self, version, key: bytes, cpu: int):
-        """Generator: search SST levels; returns the entry or None."""
-        costs = self.costs
-        # Level 0: every file whose range covers the key must be searched,
-        # newest first — the paper's L0 query overhead.
-        for meta in version.level0_files():
-            cpu += costs.sst_range_check_ns
-            if not meta.sst.key_in_range(key):
-                continue
-            self.stats.inc("get.l0_probes")
-            entry, cpu = yield from self._search_file(meta, key, cpu, l0=True)
-            if entry is not None:
-                self.stats.inc("get.l0_hit")
-                if cpu:
-                    yield cpu
-                return entry
-        # Deeper levels: at most one candidate file per level.
-        for level in range(1, self.options.num_levels):
-            meta = version.file_for_key(level, key)
-            cpu += costs.sst_range_check_ns
-            if meta is None:
-                continue
-            entry, cpu = yield from self._search_file(meta, key, cpu, l0=False)
-            if entry is not None:
-                self.stats.inc(f"get.l{level}_hit" if level <= 2 else "get.deep_hit")
-                if cpu:
-                    yield cpu
-                return entry
-        if cpu:
-            yield cpu
-        return None
+    def _retry_block_read(self, meta: FileMetadata, offset: int, nbytes: int, exc):
+        """Generator: retry a faulted SST block read with backoff.
 
-    def _search_file(self, meta: FileMetadata, key: bytes, cpu: int, l0: bool):
-        """Generator helper: probe one SST. Returns (entry, pending_cpu)."""
-        costs = self.costs
-        sst = meta.sst
-        if sst.bloom is not None:
-            cpu += costs.bloom_probe_ns
-            if not sst.may_contain(key):
-                self.stats.inc("bloom.useful")
-                return None, cpu
-        if l0:
-            cpu += costs.sst_search(sst.entry_count)
-        else:
-            cpu += costs.sst_index_search(sst.entry_count)
-        block_idx = sst.block_for_key(key)
-        cpu += costs.block_cache_lookup_ns
-        cache_key = (self._cache_ns, sst.number, block_idx)
-        if not self.block_cache.lookup(cache_key):
-            if cpu:
-                yield cpu
-            cpu = 0
-            offset, nbytes = sst.block_span(block_idx)
-            # Transient injected device faults are retried with backoff
-            # (RocksDB's retryable background errors); permanent ones
-            # propagate as IOFaultError to the caller.
-            io_event = yield from retry_call(
-                lambda: meta.file.read(offset, nbytes),
-                self.stats,
-                "get.io_retries",
-            )
-            if io_event is not None:
-                yield io_event
-                self.stats.inc("get.block_device_reads")
-            # Verify-on-read: cheap truthiness guard keeps the fault-free
-            # hot path free of checksum work; paranoid mode always verifies.
-            if meta.file.corrupt_ranges or self.options.paranoid_checks:
-                sst.verify_block(block_idx, meta.file)
-            cpu += costs.block_decode_ns
-            self.block_cache.insert(cache_key, nbytes)
-        return sst.find(key), cpu
+        Transient injected device faults are retried (RocksDB's retryable
+        background errors); permanent ones propagate as IOFaultError.  Only
+        materialized after a fault, keeping the fault-free read path
+        allocation-free.  Retry accounting matches retry_call exactly.
+        """
+        attempt = 0
+        while True:
+            if not exc.transient:
+                raise exc
+            if attempt >= IO_RETRIES:
+                self.stats.inc("get.io_retries_exhausted")
+                raise exc
+            self.stats.inc("get.io_retries")
+            yield IO_RETRY_BACKOFF_NS << attempt
+            attempt += 1
+            try:
+                return meta.file.read(offset, nbytes)
+            except IOFaultError as next_exc:
+                exc = next_exc
 
     def multi_get(self, keys: List[bytes]):
         """Generator: point-lookup several keys; returns a list of values."""

@@ -83,7 +83,10 @@ def entry_file_bytes(key: bytes, entry: Entry) -> int:
         return len(key) + 8
     if value.__class__ is bytes:
         return len(key) + len(value) + 8
-    return len(key) + entry_value_size(entry) + 8
+    size = getattr(value, "size", None)
+    if size is not None:
+        return len(key) + size + 8
+    return len(key) + value_size(value) + 8
 
 
 def wal_record_bytes(key: bytes, entry: Entry, record_overhead: int) -> int:

@@ -10,22 +10,38 @@ without 100 GB of Python heap — all size accounting in the store uses the
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
 from typing import Union
 
 from repro.errors import DBError
 
 
-@dataclass(frozen=True)
 class ValueRef:
-    """A deterministic synthetic value of ``size`` logical bytes."""
+    """A deterministic synthetic value of ``size`` logical bytes.
 
-    seed: int
-    size: int
+    Semantically a frozen ``(seed, size)`` dataclass, hand-rolled with
+    ``__slots__``: benchmarks construct one per write, and the dataclass
+    machinery (``object.__setattr__`` per field plus ``__post_init__``)
+    costs several times the two plain attribute stores.
+    """
 
-    def __post_init__(self) -> None:
-        if self.size < 0:
-            raise DBError(f"value size must be >= 0: {self.size}")
+    __slots__ = ("seed", "size")
+
+    def __init__(self, seed: int, size: int) -> None:
+        if size < 0:
+            raise DBError(f"value size must be >= 0: {size}")
+        self.seed = seed
+        self.size = size
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is ValueRef:
+            return self.seed == other.seed and self.size == other.size
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.seed, self.size))
+
+    def __repr__(self) -> str:
+        return f"ValueRef(seed={self.seed!r}, size={self.size!r})"
 
     def materialize(self) -> bytes:
         """Regenerate the value bytes (deterministic in ``seed``)."""

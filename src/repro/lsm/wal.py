@@ -37,16 +37,27 @@ from repro.sim.engine import Engine, Event
 class WalRecord:
     """One group-commit log record: the (key, entry) payloads plus a CRC.
 
-    The checksum is computed over the logical record content at append time
-    and re-verified during replay, which is what lets recovery *detect* a
-    torn tail or a device-mangled range instead of resurrecting garbage.
+    The checksum covers the logical record content at append time and is
+    re-verified during replay, which is what lets recovery *detect* a torn
+    tail or a device-mangled range instead of resurrecting garbage.  It is
+    computed lazily on first access: entries are immutable tuples frozen at
+    append, so first-access and append-time checksums are identical — and
+    the common case (a record that is never replayed or replicated) skips
+    the CRC work entirely on the hot write path.
     """
 
-    __slots__ = ("entries", "crc")
+    __slots__ = ("entries", "_crc")
 
     def __init__(self, entries: List[Tuple[bytes, Entry]]) -> None:
         self.entries = list(entries)
-        self.crc = records_checksum(self.entries)
+        self._crc: Optional[int] = None
+
+    @property
+    def crc(self) -> int:
+        value = self._crc
+        if value is None:
+            value = self._crc = records_checksum(self.entries)
+        return value
 
     def verify(self) -> bool:
         return self.crc == records_checksum(self.entries)
@@ -114,6 +125,9 @@ class WalManager:
         self.current_number = 0
         self._live: List[Tuple[int, SimFile]] = []  # (number, file), oldest first
         self.bytes_written = 0
+        # Per-append filesystem write cost (see add_group): fixed for this
+        # manager's (fs, device) pairing, resolved once off the hot path.
+        self._seq_write_half_ns = fs.device.profile.seq_write_base_ns // 2
         # Replication tap: when set, called as ``on_group(records, nbytes)``
         # for every appended group *after* the local append is issued.  The
         # cluster layer uses this on the leader to ship WAL records; None
@@ -170,7 +184,9 @@ class WalManager:
             raise DBError("WAL enabled but no live log file")
         # wal_record_bytes() unrolled: one call per record per group shows
         # up in write-heavy profiles.  Same arithmetic, same result.
-        overhead = self.options.wal_record_overhead
+        options = self.options
+        costs = self.costs
+        overhead = options.wal_record_overhead
         nbytes = 0
         for key, entry in records:
             value = entry[2]
@@ -183,21 +199,25 @@ class WalManager:
                 if vsize is None:
                     vsize = entry_value_size(entry)
             nbytes += len(key) + vsize + overhead
-        cpu = self.costs.wal_serialize(nbytes)
-        if self.options.wal_compression:
+        # wal_serialize() inlined, same arithmetic.
+        cpu = (
+            costs.wal_append_base_ns
+            + (nbytes * costs.wal_serialize_per_byte_ps) // 1000
+        )
+        if options.wal_compression:
             # Section VI: compress the log to trade CPU for I/O traffic.
-            cpu += (nbytes * self.costs.wal_compress_per_byte_ps) // 1000
-            nbytes = max(1, int(nbytes * self.options.wal_compression_ratio))
+            cpu += (nbytes * costs.wal_compress_per_byte_ps) // 1000
+            nbytes = max(1, int(nbytes * options.wal_compression_ratio))
         self.bytes_written += nbytes
         # Filesystem write-path cost: a write() into a file on a block
         # device does journal/block-layer work that scales with the backing
         # device; on byte-addressable NVM (tmpfs) that path is a bare
         # memcpy.  This is the per-write gap case study C removes.
-        cpu += self.fs.device.profile.seq_write_base_ns // 2
+        cpu += self._seq_write_half_ns
         backpressure = self.current.append(nbytes, record=WalRecord(records))
         if self.on_group is not None:
             self.on_group(records, nbytes)
-        if self.options.wal_mode == WAL_SYNC:
+        if options.wal_mode == WAL_SYNC:
             return cpu, self._sync_event()
         return cpu, backpressure
 

@@ -6,11 +6,13 @@ from typing import List, Optional, Tuple
 
 from repro.errors import DBError
 from repro.lsm.format import KIND_DELETE, KIND_PUT
-from repro.lsm.value import Value, value_size
+from repro.lsm.value import Value, ValueRef, value_size
 
 
 class WriteBatch:
     """An ordered list of PUT/DELETE operations applied atomically."""
+
+    __slots__ = ("ops", "_value_bytes", "_key_bytes")
 
     def __init__(self) -> None:
         self.ops: List[Tuple[int, bytes, Optional[Value]]] = []
@@ -22,7 +24,14 @@ class WriteBatch:
             raise DBError(f"keys must be bytes, got {type(key).__name__}")
         self.ops.append((KIND_PUT, key, value))
         self._key_bytes += len(key)
-        self._value_bytes += value_size(value)
+        # value_size() dispatch unrolled: benchmarks fill one batch per put.
+        cls = value.__class__
+        if cls is ValueRef:
+            self._value_bytes += value.size
+        elif cls is bytes:
+            self._value_bytes += len(value)
+        else:
+            self._value_bytes += value_size(value)
         return self
 
     def delete(self, key: bytes) -> "WriteBatch":

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.sim.stats import TimeSeries
 from repro.sim.units import fmt_time
 
 _NORMAL = "normal"
@@ -91,13 +92,32 @@ def busiest_device_windows(
         return []
     if window_ns is None:
         window_ns = max(1, horizon // 20)
-    busy: Dict[Tuple[str, int], int] = {}
+    # Bulk-sum service time per (track, window) through TimeSeries — one
+    # record_many per track instead of a dict update per span.  Output
+    # order must not shift: ties in busy_ns keep the old dict-insertion
+    # (first-occurrence) order, so that order is tracked separately.
+    per_track: Dict[str, Tuple[List[int], List[int]]] = {}
+    order: List[Tuple[str, int]] = []
+    seen: set = set()
     for track, ts, dur in spans:
+        lists = per_track.get(track)
+        if lists is None:
+            lists = per_track[track] = ([], [])
+        lists[0].append(ts)
+        lists[1].append(dur)
         key = (track, ts // window_ns)
-        busy[key] = busy.get(key, 0) + dur
+        if key not in seen:
+            seen.add(key)
+            order.append(key)
+    busy_by_track: Dict[str, Dict[int, int]] = {}
+    for track, (times, durs) in per_track.items():
+        series = TimeSeries(bucket_ns=window_ns)
+        series.record_many(times, durs)
+        busy_by_track[track] = series._buckets
     out = [
-        (track, idx * window_ns, ns, ns / window_ns)
-        for (track, idx), ns in busy.items()
+        (track, idx * window_ns, busy_by_track[track][idx],
+         busy_by_track[track][idx] / window_ns)
+        for track, idx in order
     ]
     out.sort(key=lambda w: w[2], reverse=True)
     return out

@@ -17,6 +17,9 @@ throughput:
   Machine setup and prefill happen outside the timed region.
 * ``dst_seed0`` — one deterministic-simulation seed (workload + faults +
   crash + recovery + verification), ops per host second.
+* ``serving_seed0`` — one serving-chaos DST seed (tenant fleet, replicated
+  shards, live faults, settle + verify), completed tenant ops per host
+  second.  Covers the serving tier the DB-level benchmarks never touch.
 
 Protocol (see EXPERIMENTS.md): garbage collection disabled around the timed
 region, one untimed warmup run, then ``runs`` timed runs; the reported value
@@ -177,12 +180,36 @@ def bench_dst_seed0(scale: float) -> Tuple[int, float]:
     return ops, elapsed
 
 
+def bench_serving_seed0(scale: float) -> Tuple[int, float]:
+    """One serving-chaos DST cycle: tenant fleet + live faults + verify.
+
+    Exercises the layers the other benchmarks skip — the serving stack,
+    replicated shards, retry/hedge client and chaos controller — so a
+    host-speed regression there is caught even when raw DB op throughput
+    is unchanged.  Work units are completed tenant ops.
+    """
+    from repro.dst.serving import ServingDstConfig, ServingDstRun
+    from repro.sim.units import ms
+
+    cfg = ServingDstConfig(
+        duration_ns=int(ms(60) * max(scale, 0.25)),
+        settle_ns=ms(120),
+    )
+    t0 = time.perf_counter()
+    result = ServingDstRun(0, cfg).run()
+    elapsed = time.perf_counter() - t0
+    if not result.ok:
+        raise AssertionError(f"serving benchmark seed failed: {result.reason}")
+    return max(result.ops, 1), elapsed
+
+
 BENCHMARKS: Dict[str, Tuple[BenchFn, str]] = {
     CALIBRATION: (bench_calibration_spin, "spins/s"),
     "kernel_churn": (bench_kernel_churn, "events/s"),
     "fillrandom_tiny": (bench_fillrandom_tiny, "ops/s"),
     "readrandom_tiny": (bench_readrandom_tiny, "ops/s"),
     "dst_seed0": (bench_dst_seed0, "ops/s"),
+    "serving_seed0": (bench_serving_seed0, "ops/s"),
 }
 
 

@@ -302,6 +302,7 @@ class Engine:
         "_seq",
         "_running",
         "_crashed",
+        "run_limit",
         "tracer",
         "_trace",
     )
@@ -314,6 +315,9 @@ class Engine:
         self._seq = 0
         self._running = False
         self._crashed: list[Process] = []
+        # The active run()'s deadline (inf when open-ended), -1 outside
+        # run(): the ceiling :func:`drive` may warp the clock up to.
+        self.run_limit: Any = -1
         self.tracer = (tracer if tracer is not None else active_tracer()).bind(self)
         # Cached so hot paths skip even the no-op tracer calls when tracing
         # is off (NullTracer.enabled is False; EngineTracer.enabled True).
@@ -363,10 +367,15 @@ class Engine:
         crashed_box = self._crashed
         trace = self._trace
         limit = _INF if until is None else until
+        self.run_limit = limit
         now = self._now
         try:
             while True:
                 if nowq:
+                    # Re-read the clock: a drive()-warped process may have
+                    # advanced it past this loop's local copy, and both the
+                    # tie check and sleep bases below must use warped time.
+                    now = self._now
                     # Heap entries tied at the current clock value predate
                     # every queued delay-zero entry; drain them first.
                     if heap and heap[0][0] <= now:
@@ -480,6 +489,7 @@ class Engine:
                     ) from crashed._exc
         finally:
             self._running = False
+            self.run_limit = -1
         return self._now
 
     def peek(self) -> Optional[int]:
@@ -523,3 +533,80 @@ class Engine:
             _heappush(self._heap, (self._now + delay, self._seq, _EVENT, event, value, None))
         else:
             self._nowq.append((_EVENT, event, value, None))
+
+
+def drive(engine: Engine, gen: ProcessGen) -> ProcessGen:
+    """Wrap a process generator, warping the clock past lonely sleeps.
+
+    When the wrapped generator sleeps and *nothing else in the simulated
+    world can run before that sleep expires* — the now-queue is empty and
+    the next heap entry lies strictly beyond the wakeup (strictly: a heap
+    tie was pushed earlier and must fire first) — the kernel round-trip is
+    pure overhead: ``drive`` advances ``engine._now`` directly and resumes
+    the generator inline.  Any other yield falls through to the kernel
+    unchanged, so event waits, joins, and contended sleeps behave exactly
+    as if the generator were spawned bare.
+
+    Dispatch order is provably identical to the unwrapped run: the warp
+    guard fails in precisely the cases where another occurrence would run
+    first, and a warped sleep only removes a (pop, resume) pair that no
+    other process could observe.  Sleeps that do reach the kernel are
+    rebased by the time warped since the kernel last resumed us, because
+    ``run()`` computes wakeups from its pop-time clock.
+
+    Use ``engine.process(drive(engine, gen), name)`` inside ``run()`` only
+    (outside a run ``engine.run_limit`` is -1 and nothing warps).
+    """
+    nowq = engine._nowq
+    heap = engine._heap
+    resume_t = engine._now  # kernel's view of our last resume time
+    value: Any = None
+    exc: Optional[BaseException] = None
+    while True:
+        try:
+            if exc is not None:
+                pending, exc = exc, None
+                yielded = gen.throw(pending)
+            else:
+                yielded = gen.send(value)
+        except StopIteration as stop:
+            return stop.value
+        cls = yielded.__class__
+        if cls is int or cls is float:
+            if yielded < 0:
+                exc = SimulationError(f"negative sleep: {yielded}")
+                continue
+            if yielded == 0:
+                value = engine._now
+                continue
+            wake = engine._now + int(yielded)
+            if (
+                not nowq
+                and (not heap or heap[0][0] > wake)
+                and wake <= engine.run_limit
+            ):
+                engine._now = wake
+                value = None  # kernel resumes heap sleeps with send(None)
+                continue
+            try:
+                value = yield (engine._now - resume_t) + int(yielded)
+            except BaseException as err:  # noqa: BLE001 - forward to gen
+                exc = err
+            resume_t = engine._now
+            continue
+        if isinstance(yielded, Event):
+            if yielded.triggered:
+                if yielded._exc is not None:
+                    exc = yielded._exc
+                else:
+                    value = yielded._value
+                continue
+            try:
+                value = yield yielded
+            except BaseException as err:  # noqa: BLE001 - forward to gen
+                exc = err
+            resume_t = engine._now
+            continue
+        exc = SimulationError(
+            f"process yielded unsupported value {yielded!r}"
+        )

@@ -202,20 +202,25 @@ class StorageDevice:
         now = self.engine.now
         prof = self.profile
 
-        start = finish = now
-        first = True
-        remaining = nbytes
-        while remaining > 0:
-            chunk = min(remaining, prof.stripe_bytes)
-            stripe_start, stripe_finish = self._submit_stripe(
-                op, chunk, sequential, now
-            )
-            if first or stripe_start < start:
-                start = stripe_start
-                first = False
-            if stripe_finish > finish:
-                finish = stripe_finish
-            remaining -= chunk
+        if nbytes <= prof.stripe_bytes:
+            # Single-stripe request (most block reads): skip the loop's
+            # min/max bookkeeping.  finish >= start >= now always holds.
+            start, finish = self._submit_stripe(op, nbytes, sequential, now)
+        else:
+            start = finish = now
+            first = True
+            remaining = nbytes
+            while remaining > 0:
+                chunk = min(remaining, prof.stripe_bytes)
+                stripe_start, stripe_finish = self._submit_stripe(
+                    op, chunk, sequential, now
+                )
+                if first or stripe_start < start:
+                    start = stripe_start
+                    first = False
+                if stripe_finish > finish:
+                    finish = stripe_finish
+                remaining -= chunk
 
         latency = finish - now
         if op is READ:

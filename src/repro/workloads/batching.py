@@ -1,0 +1,43 @@
+"""The batched-execution knob shared by every workload client.
+
+Batched clients pre-draw ``batch_ops()`` operations' worth of RNG values
+per wakeup and execute them through the DB fast path + clock-warp layer
+(:func:`repro.sim.engine.drive`), falling back to the per-op generator
+path at any stall/flush/fault boundary.  The op *stream* is identical
+either way — batching only changes how much host work each simulated op
+costs — and the differential test suite asserts byte-identical output.
+
+Set ``REPRO_BATCH_OPS=0`` (or ``1``) in the environment, pass
+``--batch-ops 0`` on the harness CLIs, or call :func:`set_batch_ops` to
+disable batching; any larger value sets the pre-draw chunk size.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import WorkloadError
+
+DEFAULT_BATCH_OPS = 64
+
+_batch_ops: int = DEFAULT_BATCH_OPS
+_env = os.environ.get("REPRO_BATCH_OPS")
+if _env is not None:
+    _batch_ops = int(_env)
+
+
+def batch_ops() -> int:
+    """Current op-vector size; values below 2 mean batching is off."""
+    return _batch_ops
+
+
+def batching_enabled() -> bool:
+    return _batch_ops >= 2
+
+
+def set_batch_ops(n: int) -> None:
+    """Set the op-vector size (0 or 1 disables batching)."""
+    global _batch_ops
+    if n < 0:
+        raise WorkloadError(f"batch size must be >= 0: {n}")
+    _batch_ops = n

@@ -11,14 +11,16 @@ paper's figures plot.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import WorkloadError
 from repro.lsm.db import DB
-from repro.sim.engine import Engine
+from repro.lsm.format import KIND_PUT
+from repro.sim.engine import Engine, drive
 from repro.sim.rng import RandomStream
 from repro.sim.stats import LatencyHistogram, TimeSeries
 from repro.sim.units import SEC, seconds
+from repro.workloads.batching import batch_ops, batching_enabled
 from repro.workloads.generators import (
     BurstSchedule,
     KeySpace,
@@ -67,7 +69,9 @@ class BenchResult:
     timeline: TimeSeries = field(default_factory=TimeSeries)
     mean_waiting_writers: float = 0.0
     db_tickers: Dict[str, int] = field(default_factory=dict)
-    l0_file_counts: list = field(default_factory=list)  # sampled (t, count)
+    l0_file_counts: List[Tuple[int, int]] = field(
+        default_factory=list
+    )  # sampled (t, count)
 
     @property
     def kops(self) -> float:
@@ -75,6 +79,11 @@ class BenchResult:
         if self.measured_ns <= 0:
             return 0.0
         return self.ops * SEC / self.measured_ns / 1e3
+
+    @property
+    def l0_max(self) -> int:
+        """Peak sampled Level-0 file count over the run."""
+        return max((count for _t, count in self.l0_file_counts), default=0)
 
     def summary(self) -> Dict[str, float]:
         return {
@@ -86,6 +95,7 @@ class BenchResult:
             "write_p90_us": round(self.write_latency.percentile(90) / 1e3, 1),
             "write_p99_us": round(self.write_latency.percentile(99) / 1e3, 1),
             "mean_waiting": round(self.mean_waiting_writers, 2),
+            "l0_max": float(self.l0_max),
         }
 
 
@@ -112,18 +122,51 @@ class DbBench:
         values = ValueSpec(cfg.value_size)
         mix = OperationMix(cfg.write_fraction)
 
+        # Batched clients pre-draw RNG vectors and use the DB fast path;
+        # burst schedules stay per-op (the chance draw is time-dependent,
+        # and draw *counts* change when the fraction saturates at 0 or 1).
+        batched = batching_enabled() and cfg.schedule is None
+        buffers: List[Tuple[List[int], List[int], List[int]]] = []
         for pid in range(cfg.processes):
             rng = RandomStream(cfg.seed, f"db_bench/client{pid}")
-            engine.process(
-                self._client(
-                    engine, db, rng, keyspace, values, mix, end, measure_from, result
-                ),
-                name=f"db_bench-{pid}",
-            )
+            if batched:
+                buf: Tuple[List[int], List[int], List[int]] = ([], [], [])
+                buffers.append(buf)
+                gen = self._client_batched(
+                    engine, db, rng, keyspace, values, mix, end,
+                    measure_from, result, buf,
+                )
+                if cfg.processes == 1:
+                    # The drive() wrapper rebases kernel sleeps issued after
+                    # a synchronous clock warp — without it a post-warp
+                    # ``yield overhead`` would be scheduled from the kernel's
+                    # stale pop-time clock, rewinding time.  The batched
+                    # client therefore only warps (fast paths included) when
+                    # it is the sole client and wrapped; concurrent clients
+                    # never touch the clock and skip the wrapper's per-yield
+                    # frame hop.
+                    gen = drive(engine, gen)
+                engine.process(gen, name=f"db_bench-{pid}")
+            else:
+                engine.process(
+                    self._client(
+                        engine, db, rng, keyspace, values, mix, end,
+                        measure_from, result,
+                    ),
+                    name=f"db_bench-{pid}",
+                )
         engine.process(
             self._sampler(engine, db, end, result), name="db_bench-sampler"
         )
         engine.run(until=end)
+
+        # Bulk-flush the batched clients' buffered samples.  Histogram and
+        # timeline state is order-independent (integer adds), so one flush
+        # per client matches the per-op run's interleaved records exactly.
+        for w_lat, r_lat, fin in buffers:
+            result.write_latency.record_many(w_lat)
+            result.read_latency.record_many(r_lat)
+            result.timeline.record_many(fin)
 
         result.measured_ns = end - measure_from
         result.mean_waiting_writers = db.mean_waiting_writers()
@@ -172,6 +215,138 @@ class DbBench:
             if began >= measure_from:
                 result.ops += 1
                 result.timeline.record(finished)
+
+    def _client_batched(
+        self,
+        engine: Engine,
+        db: DB,
+        rng: RandomStream,
+        keyspace: KeySpace,
+        values: ValueSpec,
+        mix: OperationMix,
+        end: int,
+        measure_from: int,
+        result: BenchResult,
+        buf: "Tuple[List[int], List[int], List[int]]",
+    ):
+        """Vectorized twin of :meth:`_client`, bit-identical op stream.
+
+        Per wakeup, one op vector's RNG values are pre-drawn in the exact
+        per-op order (the mix's chance draw — skipped entirely when the
+        write fraction saturates, matching ``RandomStream.chance`` — then
+        the key draw).  Each op tries the DB fast path first and falls back
+        to the per-op generator at any boundary; latencies and timeline
+        stamps accumulate in ``buf`` for one ``record_many`` per run.
+        Surplus tail draws when the run ends mid-vector are unobservable:
+        the stream is private to this client.
+        """
+        overhead = db.costs.client_op_overhead_ns
+        wf = mix.write_fraction
+        count = keyspace.count
+        random = rng.random
+        # rng.randint(0, count - 1) normalizes its arguments through two
+        # call layers before landing in Random._randbelow(count); drawing
+        # through _randbelow directly consumes the identical underlying
+        # stream (randrange's width path) at a fraction of the call cost.
+        randbelow = getattr(rng._rng, "_randbelow", None)
+        if randbelow is None:  # non-CPython Random: keep the public API
+            randint = rng.randint
+            def randbelow(n):
+                return randint(0, n - 1)
+        key_at = keyspace.key_at
+        put_fast = db.put_fast
+        get_fast = db.get_fast
+        write_ops = db._write_ops
+        mts = db.memtables
+        solo = self.config.processes == 1
+        # Cheap eligibility gates, hoisted from the fast paths themselves:
+        # attempting (and bailing out of) put_fast/get_fast costs more than
+        # these probes.  Fast paths (and the inline overhead warp below) are
+        # solo-client only: they advance ``engine._now`` synchronously, which
+        # is safe only under the rebasing drive() wrapper run() adds for
+        # single-client configs.  With concurrent clients every op takes the
+        # generator path — the gates are perf-only either way, the op stream
+        # is bit-identical.
+        queue = (
+            db.write_queues[0]
+            if solo and len(db.write_queues) == 1
+            else None
+        )
+        fast_mts = mts if solo else None
+        nowq = engine._nowq
+        heap = engine._heap
+        batch = batch_ops()
+        version_counter = 1
+        w_lat, r_lat, fin = buf
+        always_write = wf >= 1.0
+        never_write = wf <= 0.0
+        mixed = not (always_write or never_write)
+        while engine._now < end:
+            if mixed:
+                ops = [
+                    (random() < wf, randbelow(count)) for _ in range(batch)
+                ]
+            else:
+                ops = [
+                    (always_write, randbelow(count)) for _ in range(batch)
+                ]
+            for write, key_index in ops:
+                if engine._now >= end:
+                    return
+                if overhead:
+                    if solo:
+                        wake = engine._now + overhead
+                        if (
+                            nowq
+                            or (heap and heap[0][0] <= wake)
+                            or wake > engine.run_limit
+                        ):
+                            yield overhead
+                        else:
+                            engine._now = wake
+                    else:
+                        yield overhead
+                key = key_at(key_index)
+                began = engine._now
+                if write:
+                    version_counter += 1
+                    value = values.value_for(key_index, version_counter)
+                    if queue is not None and not (
+                        queue._has_leader or queue._waiting
+                    ):
+                        lat = put_fast(key, value)
+                    else:
+                        lat = None
+                    if lat is None:
+                        # db.put() minus its wrapper: the op tuple and the
+                        # data-bytes arithmetic are built inline (values are
+                        # always ValueRefs here).
+                        yield from write_ops(
+                            [(KIND_PUT, key, value)], len(key) + value.size
+                        )
+                        lat = engine._now - began
+                    if began >= measure_from:
+                        result.writes += 1
+                        result.ops += 1
+                        w_lat.append(lat)
+                        fin.append(began + lat)
+                else:
+                    if (
+                        fast_mts is not None
+                        and (
+                            fast_mts.immutables
+                            or fast_mts.mutable.get(key) is not None
+                        )
+                        and get_fast(key) is not None
+                    ):
+                        pass  # memtable hit, clock already advanced
+                    else:
+                        yield from db.get(key)
+                    if began >= measure_from:
+                        result.reads += 1
+                        result.ops += 1
+                        r_lat.append(engine._now - began)
+                        fin.append(engine._now)
 
     def _sampler(self, engine: Engine, db: DB, end: int, result: BenchResult):
         """Sample the Level-0 file count once per timeline bucket."""

@@ -146,6 +146,122 @@ class TestPercentileAccuracy:
             assert abs(approx - exact) <= max(0.035 * exact, 1.0), (p, scale, dist)
 
 
+def _hist_state(hist):
+    return (
+        dict(hist._buckets),
+        hist.count,
+        hist.total,
+        hist.min,
+        hist.max,
+    )
+
+
+class TestRecordMany:
+    """Bulk recording is bit-identical to the scalar loop, in any order.
+
+    record_many has a vectorized numpy path above the bulk threshold and a
+    scalar fallback below it (and whenever numpy is unavailable); both must
+    leave exactly the state a plain ``record`` loop would, even when
+    percentile queries — which build a sorted-bucket cache that bulk
+    inserts must invalidate — interleave with the batches.
+    """
+
+    @given(
+        program=st.lists(
+            st.one_of(
+                st.integers(min_value=0, max_value=10_000_000),
+                st.lists(
+                    st.integers(min_value=0, max_value=10_000_000),
+                    min_size=0,
+                    max_size=100,
+                ),
+                st.sampled_from([50.0, 90.0, 99.0]),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_interleaved_record_percentile_record_many(self, program):
+        hist = LatencyHistogram()
+        ref = LatencyHistogram()
+        for step in program:
+            if isinstance(step, float):  # percentile query mid-stream
+                assert hist.percentile(step) == ref.percentile(step)
+            elif isinstance(step, list):  # bulk batch
+                hist.record_many(step)
+                for v in step:
+                    ref.record(v)
+            else:  # scalar sample
+                hist.record(step)
+                ref.record(step)
+        assert _hist_state(hist) == _hist_state(ref)
+        for p in (0, 50, 90, 99, 100):
+            assert hist.percentile(p) == ref.percentile(p)
+
+    def test_bulk_batch_invalidates_percentile_cache(self):
+        """A cached percentile must not survive a bulk insert that opens
+        new buckets (the numpy path invalidates at most once per batch)."""
+        hist = LatencyHistogram()
+        hist.record(10)
+        assert hist.percentile(50) == pytest.approx(10.0)
+        hist.record_many([1_000_000] * 64)
+        assert hist.percentile(99) == pytest.approx(1_000_000, rel=0.05)
+
+    def test_huge_samples_use_scalar_path(self):
+        """Samples at/above 2**53 (float64 exactness limit) must still land
+        in the same buckets as the scalar path."""
+        huge = [2**53, 2**53 + 1, 2**60] * 16
+        hist, ref = LatencyHistogram(), LatencyHistogram()
+        hist.record_many(huge)
+        for v in huge:
+            ref.record(v)
+        assert _hist_state(hist) == _hist_state(ref)
+
+    def test_negative_in_batch_raises(self):
+        hist = LatencyHistogram()
+        with pytest.raises(SimulationError):
+            hist.record_many([1, 2, -3] + [4] * 64)
+
+    @given(
+        times=st.lists(
+            st.integers(min_value=0, max_value=10 * SEC), min_size=0, max_size=100
+        ),
+        weighted=st.booleans(),
+    )
+    def test_timeseries_record_many(self, times, weighted):
+        ts = TimeSeries(bucket_ns=SEC // 4)
+        ref = TimeSeries(bucket_ns=SEC // 4)
+        counts = [t % 5 + 1 for t in times] if weighted else None
+        ts.record_many(times, counts)
+        for i, t in enumerate(times):
+            ref.record(t, counts[i] if counts else 1)
+        assert dict(ts._buckets) == dict(ref._buckets)
+        assert ts.count == ref.count
+
+    def test_no_numpy_fallback_identical(self, monkeypatch):
+        """REPRO_NO_NUMPY's code path (module-level ``_np = None``) must
+        produce byte-identical state to the vectorized path."""
+        import repro.sim.stats as stats_mod
+
+        samples = list(range(0, 5000, 7)) * 2
+        vec = LatencyHistogram()
+        vec.record_many(samples)
+        monkeypatch.setattr(stats_mod, "_np", None)
+        scalar = LatencyHistogram()
+        scalar.record_many(samples)
+        assert _hist_state(vec) == _hist_state(scalar)
+
+        times = [i * 1000 for i in range(200)]
+        counts = [i % 3 + 1 for i in range(200)]
+        scalar_ts = TimeSeries(bucket_ns=SEC // 10)
+        scalar_ts.record_many(times, counts)
+        monkeypatch.undo()
+        vec_ts = TimeSeries(bucket_ns=SEC // 10)
+        vec_ts.record_many(times, counts)
+        assert dict(vec_ts._buckets) == dict(scalar_ts._buckets)
+        assert vec_ts.count == scalar_ts.count
+
+
 class TestTimeSeries:
     def test_bucket_rates(self):
         ts = TimeSeries(bucket_ns=SEC)
